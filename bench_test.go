@@ -1,0 +1,254 @@
+// Benchmarks regenerating each of the paper's tables and figures plus the
+// DESIGN.md ablations, on a reduced but structurally identical scenario
+// (see EXPERIMENTS.md for the full-scale numbers; cmd/experiments runs
+// them). Every benchmark reports the figure's headline quantities through
+// b.ReportMetric so `go test -bench=.` doubles as a regression harness for
+// the reproduction's *shape*: who wins, and by roughly how much.
+package geovmp
+
+import (
+	"testing"
+)
+
+// benchSpec is the shared reduced scenario: 2% of Table I (30/20/10
+// servers, ~420 VMs), one day, 5-minute green-controller steps.
+func benchSpec() Spec {
+	return Spec{
+		Scale:       0.02,
+		Seed:        42,
+		Horizon:     Days(1),
+		FineStepSec: 300,
+	}
+}
+
+// compareAll runs the four policies of the paper's evaluation once.
+func compareAll(b *testing.B) []*Result {
+	b.Helper()
+	results, err := Compare(benchSpec(), AllPolicies(0.9, 42)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+func byName(results []*Result, name string) *Result {
+	for _, r := range results {
+		if r.Policy == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// BenchmarkTable1Setup regenerates Table I: scenario construction including
+// the fleet, energy sources and workload.
+func BenchmarkTable1Setup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := NewScenario(benchSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sc.Fleet) != 3 {
+			b.Fatal("fleet size wrong")
+		}
+	}
+}
+
+// BenchmarkFig1OperationalCost regenerates Figure 1: normalized operational
+// cost per method. Reported metrics are the proposed method's relative
+// savings versus each baseline (paper: up to 55/25/35% vs Ener/Pri/Net).
+func BenchmarkFig1OperationalCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := compareAll(b)
+		prop := byName(results, "Proposed")
+		for _, base := range []string{"Ener-aware", "Pri-aware", "Net-aware"} {
+			r := byName(results, base)
+			saving := (float64(r.OpCost) - float64(prop.OpCost)) / float64(r.OpCost)
+			b.ReportMetric(saving*100, "pct-saved-vs-"+base)
+		}
+	}
+}
+
+// BenchmarkFig2EnergyConsumption regenerates Figure 2: weekly (here:
+// horizon) energy consumed by the DCs per method, in GJ.
+func BenchmarkFig2EnergyConsumption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := compareAll(b)
+		for _, r := range results {
+			b.ReportMetric(r.TotalEnergy.GJ(), "GJ-"+r.Policy)
+		}
+	}
+}
+
+// BenchmarkFig3ResponseTime regenerates Figure 3: the response-time
+// distribution. Reported metrics are each method's worst case normalized by
+// the worst across methods (the paper's SLA comparison).
+func BenchmarkFig3ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := compareAll(b)
+		var worst float64
+		for _, r := range results {
+			if w := r.RespSummary.Max(); w > worst {
+				worst = w
+			}
+		}
+		for _, r := range results {
+			b.ReportMetric(r.RespSummary.Max()/worst, "norm-worst-"+r.Policy)
+		}
+	}
+}
+
+// BenchmarkFig4Totals regenerates Figure 4: the proposed method's combined
+// cost / energy / performance improvements.
+func BenchmarkFig4Totals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := compareAll(b)
+		prop := byName(results, "Proposed")
+		var worstCost, worstEnergy, worstResp float64
+		for _, r := range results {
+			if c := float64(r.OpCost); c > worstCost {
+				worstCost = c
+			}
+			if e := r.TotalEnergy.GJ(); e > worstEnergy {
+				worstEnergy = e
+			}
+			if w := r.RespSummary.Max(); w > worstResp {
+				worstResp = w
+			}
+		}
+		b.ReportMetric((1-float64(prop.OpCost)/worstCost)*100, "pct-cost-improvement")
+		b.ReportMetric((1-prop.TotalEnergy.GJ()/worstEnergy)*100, "pct-energy-improvement")
+		b.ReportMetric((1-prop.RespSummary.Max()/worstResp)*100, "pct-perf-improvement")
+	}
+}
+
+// BenchmarkFig5CostPerformance regenerates Figure 5: the cost-performance
+// trade-off versus the price-aware and network-aware baselines.
+func BenchmarkFig5CostPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := compareAll(b)
+		prop := byName(results, "Proposed")
+		pri := byName(results, "Pri-aware")
+		net := byName(results, "Net-aware")
+		b.ReportMetric((1-float64(prop.OpCost)/float64(pri.OpCost))*100, "pct-cost-vs-pri")
+		b.ReportMetric((1-prop.RespSummary.Max()/pri.RespSummary.Max())*100, "pct-perf-vs-pri")
+		b.ReportMetric((1-float64(prop.OpCost)/float64(net.OpCost))*100, "pct-cost-vs-net")
+	}
+}
+
+// BenchmarkFig6EnergyPerformance regenerates Figure 6: the
+// energy-performance trade-off versus the energy-aware and network-aware
+// baselines.
+func BenchmarkFig6EnergyPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := compareAll(b)
+		prop := byName(results, "Proposed")
+		ener := byName(results, "Ener-aware")
+		net := byName(results, "Net-aware")
+		b.ReportMetric((1-prop.TotalEnergy.GJ()/ener.TotalEnergy.GJ())*100, "pct-energy-vs-ener")
+		b.ReportMetric((1-prop.RespSummary.Max()/ener.RespSummary.Max())*100, "pct-perf-vs-ener")
+		b.ReportMetric((1-prop.TotalEnergy.GJ()/net.TotalEnergy.GJ())*100, "pct-energy-vs-net")
+	}
+}
+
+// BenchmarkAblationAlphaSweep is ablation A1: the Eq. 5 weighting between
+// data locality and peak separation. Reported: worst response at the
+// extremes.
+func BenchmarkAblationAlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0.1, 0.9} {
+			res, err := Compare(benchSpec(), Proposed(alpha, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res[0].RespSummary.Max(), "worst-resp-alpha-"+fmtAlpha(alpha))
+		}
+	}
+}
+
+func fmtAlpha(a float64) string {
+	if a < 0.5 {
+		return "low"
+	}
+	return "high"
+}
+
+// BenchmarkAblationNoEmbedding is ablation A2: k-means without the
+// force-directed plane. Reported: cross-DC traffic ratio (embedding should
+// reduce it).
+func BenchmarkAblationNoEmbedding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, err := Compare(benchSpec(), Proposed(0.9, 42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		noCtl := Proposed(0.9, 42)
+		noCtl.NoEmbedding = true
+		without, err := Compare(benchSpec(), noCtl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(with[0].CrossBytes.GB(), "crossGB-with-embedding")
+		b.ReportMetric(without[0].CrossBytes.GB(), "crossGB-no-embedding")
+	}
+}
+
+// BenchmarkAblationQoSSweep is ablation A3: the migration latency
+// constraint. Reported: executed migrations at loose vs tight QoS.
+func BenchmarkAblationQoSSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, q := range []float64{0.90, 0.999} {
+			s := benchSpec()
+			s.QoS = q
+			res, err := Compare(s, Proposed(0.9, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "migrations-qos-loose"
+			if q > 0.99 {
+				name = "migrations-qos-tight"
+			}
+			b.ReportMetric(float64(res[0].Migrations), name)
+		}
+	}
+}
+
+// BenchmarkAblationBatterySweep is ablation A4: battery sizing. Reported:
+// grid energy with no battery vs double battery.
+func BenchmarkAblationBatterySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, scale := range []float64{1e-6, 2} {
+			s := benchSpec()
+			s.BatteryScale = scale
+			res, err := Compare(s, Proposed(0.9, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "gridKWh-battery-none"
+			if scale > 1 {
+				name = "gridKWh-battery-double"
+			}
+			b.ReportMetric(res[0].GridEnergy.KWh(), name)
+		}
+	}
+}
+
+// BenchmarkAblationForecast is ablation A5: forecaster quality. Reported:
+// operational cost under oracle vs last-value forecasts.
+func BenchmarkAblationForecast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, k := range []ForecastKind{ForecastOracle, ForecastLastValue} {
+			s := benchSpec()
+			s.Forecast = k
+			res, err := Compare(s, Proposed(0.9, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "cost-forecast-oracle"
+			if k == ForecastLastValue {
+				name = "cost-forecast-lastvalue"
+			}
+			b.ReportMetric(float64(res[0].OpCost), name)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Table I, Figs. 1-6) plus the ablation studies listed
+// in DESIGN.md, printing each as text and writing CSVs under -out.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast]
+//	            [-scale 0.05] [-seed 42] [-days 7] [-finestep 60] [-out results]
+//
+// The paper's full configuration is -scale 1 -days 7 -finestep 5; the
+// defaults trade fleet size for wall-clock time while preserving the
+// comparison structure (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"geovmp"
+	"geovmp/internal/config"
+	"geovmp/internal/report"
+	"geovmp/internal/sim"
+)
+
+var (
+	expName  = flag.String("exp", "all", "experiment: all, figs, table1, fig1..fig6, alpha, noembed, qos, battery, forecast")
+	scale    = flag.Float64("scale", 0.05, "Table I fleet scale (1.0 = paper)")
+	seed     = flag.Uint64("seed", 42, "experiment seed")
+	days     = flag.Int("days", 7, "horizon in days (paper: 7)")
+	fineStep = flag.Float64("finestep", 60, "green controller step seconds (paper: 5)")
+	alpha    = flag.Float64("alpha", 0.9, "proposed method's energy-performance weight")
+	outDir   = flag.String("out", "results", "directory for CSV output")
+	seeds    = flag.Int("seeds", 1, "number of seeds for the multi-seed aggregate (figs only)")
+)
+
+func spec() geovmp.Spec {
+	return geovmp.Spec{
+		Scale:       *scale,
+		Seed:        *seed,
+		Horizon:     geovmp.Days(*days),
+		FineStepSec: *fineStep,
+	}
+}
+
+func main() {
+	flag.Parse()
+	start := time.Now()
+	var err error
+	switch *expName {
+	case "all":
+		err = runFigures(true)
+		for _, ab := range []func() error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast} {
+			if err != nil {
+				break
+			}
+			fmt.Println()
+			err = ab()
+		}
+	case "figs", "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6":
+		err = runFigures(*expName == "figs" || *expName == "all")
+	case "alpha":
+		err = runAlphaSweep()
+	case "noembed":
+		err = runNoEmbed()
+	case "qos":
+		err = runQoSSweep()
+	case "battery":
+		err = runBatterySweep()
+	case "forecast":
+		err = runForecast()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runFigures executes the four-policy comparison and emits the requested
+// figures.
+func runFigures(all bool) error {
+	fmt.Printf("running 4 policies, scale %.3g, %d days, seed %d ...\n", *scale, *days, *seed)
+	results, err := geovmp.Compare(spec(), geovmp.AllPolicies(*alpha, *seed)...)
+	if err != nil {
+		return err
+	}
+	sc, err := geovmp.NewScenario(spec())
+	if err != nil {
+		return err
+	}
+	figs := report.All(sc.Fleet, results)
+	for _, f := range figs {
+		if all || *expName == "figs" || *expName == f.ID {
+			fmt.Println()
+			fmt.Print(f.Render())
+			if err := f.WriteCSV(*outDir); err != nil {
+				return err
+			}
+		}
+	}
+	if err := report.SaveSVGs(*outDir, results); err != nil {
+		return err
+	}
+	fmt.Printf("\nSVG figures written to %s/\n\n", *outDir)
+	fmt.Print(report.Summary(results))
+	if *seeds > 1 {
+		fmt.Printf("\nrunning %d additional seed(s) for the aggregate ...\n", *seeds-1)
+		runs := [][]*sim.Result{results}
+		for k := 1; k < *seeds; k++ {
+			s := spec()
+			s.Seed = *seed + uint64(k)
+			more, err := geovmp.Compare(s, geovmp.AllPolicies(*alpha, s.Seed)...)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, more)
+		}
+		agg := report.Aggregate(runs)
+		fmt.Println()
+		fmt.Print(agg.Render())
+		if err := agg.WriteCSV(*outDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAlphaSweep is ablation A1: the Eq. 5 energy-performance weight.
+func runAlphaSweep() error {
+	fmt.Println("ablation A1: alpha sweep (energy-performance weighting)")
+	fig := &report.Figure{
+		ID:      "ablation-alpha",
+		Title:   "Alpha sweep: Eq. 5 energy/performance weighting",
+		Headers: []string{"alpha", "cost (EUR)", "energy (GJ)", "worst resp (s)", "mean resp (s)", "cross-DC (GB)"},
+	}
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		res, err := geovmp.Compare(spec(), geovmp.Proposed(a, *seed))
+		if err != nil {
+			return err
+		}
+		r := res[0]
+		fig.Rows = append(fig.Rows, []string{
+			fmt.Sprintf("%.1f", a),
+			fmt.Sprintf("%.2f", float64(r.OpCost)),
+			fmt.Sprintf("%.4f", r.TotalEnergy.GJ()),
+			fmt.Sprintf("%.2f", r.RespSummary.Max()),
+			fmt.Sprintf("%.2f", r.RespSummary.Mean()),
+			fmt.Sprintf("%.1f", r.CrossBytes.GB()),
+		})
+	}
+	fmt.Print(fig.Render())
+	return fig.WriteCSV(*outDir)
+}
+
+// runNoEmbed is ablation A2: clustering without the force-directed plane.
+func runNoEmbed() error {
+	fmt.Println("ablation A2: embedding on/off")
+	withRes, err := geovmp.Compare(spec(), geovmp.Proposed(*alpha, *seed))
+	if err != nil {
+		return err
+	}
+	noCtl := geovmp.Proposed(*alpha, *seed)
+	noCtl.NoEmbedding = true
+	noRes, err := geovmp.Compare(spec(), noCtl)
+	if err != nil {
+		return err
+	}
+	fig := &report.Figure{
+		ID:      "ablation-noembed",
+		Title:   "Force-directed embedding on/off",
+		Headers: []string{"variant", "cost (EUR)", "energy (GJ)", "worst resp (s)", "mean resp (s)", "cross-DC (GB)"},
+	}
+	for _, pair := range []struct {
+		name string
+		r    *sim.Result
+	}{{"with embedding", withRes[0]}, {"no embedding", noRes[0]}} {
+		fig.Rows = append(fig.Rows, []string{
+			pair.name,
+			fmt.Sprintf("%.2f", float64(pair.r.OpCost)),
+			fmt.Sprintf("%.4f", pair.r.TotalEnergy.GJ()),
+			fmt.Sprintf("%.2f", pair.r.RespSummary.Max()),
+			fmt.Sprintf("%.2f", pair.r.RespSummary.Mean()),
+			fmt.Sprintf("%.1f", pair.r.CrossBytes.GB()),
+		})
+	}
+	fmt.Print(fig.Render())
+	return fig.WriteCSV(*outDir)
+}
+
+// runQoSSweep is ablation A3: the migration latency constraint.
+func runQoSSweep() error {
+	fmt.Println("ablation A3: migration QoS constraint sweep")
+	fig := &report.Figure{
+		ID:      "ablation-qos",
+		Title:   "Migration QoS sweep (constraint = (1-QoS) x slot)",
+		Headers: []string{"QoS", "cost (EUR)", "worst resp (s)", "migrations", "rejected"},
+	}
+	for _, q := range []float64{0.90, 0.95, 0.98, 0.995, 0.999} {
+		s := spec()
+		s.QoS = q
+		res, err := geovmp.Compare(s, geovmp.Proposed(*alpha, *seed))
+		if err != nil {
+			return err
+		}
+		r := res[0]
+		fig.Rows = append(fig.Rows, []string{
+			fmt.Sprintf("%.3f", q),
+			fmt.Sprintf("%.2f", float64(r.OpCost)),
+			fmt.Sprintf("%.2f", r.RespSummary.Max()),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.MigRejected),
+		})
+	}
+	fmt.Print(fig.Render())
+	return fig.WriteCSV(*outDir)
+}
+
+// runBatterySweep is ablation A4: battery bank sizing.
+func runBatterySweep() error {
+	fmt.Println("ablation A4: battery size scaling")
+	fig := &report.Figure{
+		ID:      "ablation-battery",
+		Title:   "Battery capacity scaling x{~0, 0.5, 1, 2}",
+		Headers: []string{"battery scale", "cost (EUR)", "grid (kWh)", "PV used (kWh)", "PV lost (kWh)"},
+	}
+	for _, b := range []float64{config.BatteryZero, 0.5, 1, 2} {
+		s := spec()
+		s.BatteryScale = b
+		res, err := geovmp.Compare(s, geovmp.Proposed(*alpha, *seed))
+		if err != nil {
+			return err
+		}
+		r := res[0]
+		label := fmt.Sprintf("%.1f", b)
+		if b == config.BatteryZero {
+			label = "~0"
+		}
+		fig.Rows = append(fig.Rows, []string{
+			label,
+			fmt.Sprintf("%.2f", float64(r.OpCost)),
+			fmt.Sprintf("%.1f", r.GridEnergy.KWh()),
+			fmt.Sprintf("%.1f", r.RenewableUsed.KWh()),
+			fmt.Sprintf("%.1f", r.RenewableLost.KWh()),
+		})
+	}
+	fmt.Print(fig.Render())
+	return fig.WriteCSV(*outDir)
+}
+
+// runForecast is ablation A5: renewable forecaster quality.
+func runForecast() error {
+	fmt.Println("ablation A5: renewable forecast quality")
+	fig := &report.Figure{
+		ID:      "ablation-forecast",
+		Title:   "Forecaster quality: oracle vs WCMA vs EWMA vs last-value",
+		Headers: []string{"forecaster", "cost (EUR)", "grid (kWh)", "PV used (kWh)"},
+	}
+	kinds := []struct {
+		kind geovmp.ForecastKind
+		name string
+	}{
+		{geovmp.ForecastOracle, "oracle"},
+		{geovmp.ForecastWCMA, "wcma"},
+		{geovmp.ForecastEWMA, "ewma"},
+		{geovmp.ForecastLastValue, "last-value"},
+	}
+	for _, k := range kinds {
+		s := spec()
+		s.Forecast = k.kind
+		res, err := geovmp.Compare(s, geovmp.Proposed(*alpha, *seed))
+		if err != nil {
+			return err
+		}
+		r := res[0]
+		fig.Rows = append(fig.Rows, []string{
+			k.name,
+			fmt.Sprintf("%.2f", float64(r.OpCost)),
+			fmt.Sprintf("%.1f", r.GridEnergy.KWh()),
+			fmt.Sprintf("%.1f", r.RenewableUsed.KWh()),
+		})
+	}
+	fmt.Print(fig.Render())
+	return fig.WriteCSV(*outDir)
+}

@@ -1,0 +1,79 @@
+// Command geovmp runs one placement policy (or all four) over the paper's
+// geo-distributed scenario and prints a metrics summary.
+//
+// Usage:
+//
+//	geovmp [-policy proposed|ener|pri|net|all] [-scale 0.05] [-seed 42]
+//	       [-hours N | -days N | -week] [-alpha 0.9] [-finestep 60]
+//
+// Examples:
+//
+//	geovmp -policy all -scale 0.05 -days 2
+//	geovmp -policy proposed -alpha 0.5 -week -scale 0.1 -finestep 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"geovmp"
+)
+
+func main() {
+	var (
+		polName  = flag.String("policy", "all", "proposed, ener, pri, net or all")
+		scale    = flag.Float64("scale", 0.05, "Table I fleet scale (1.0 = paper)")
+		seed     = flag.Uint64("seed", 42, "experiment seed")
+		hours    = flag.Int("hours", 0, "horizon in hours")
+		days     = flag.Int("days", 2, "horizon in days (ignored when -hours or -week set)")
+		week     = flag.Bool("week", false, "use the paper's one-week horizon")
+		alpha    = flag.Float64("alpha", 0.9, "energy-performance weight for the proposed method")
+		fineStep = flag.Float64("finestep", 60, "green controller step seconds (paper: 5)")
+		vmsPer   = flag.Float64("vms", 0, "initial VMs per server (default 7)")
+	)
+	flag.Parse()
+
+	horizon := geovmp.Days(*days)
+	if *hours > 0 {
+		horizon = geovmp.HoursOf(*hours)
+	}
+	if *week {
+		horizon = geovmp.Week()
+	}
+	spec := geovmp.Spec{
+		Scale:        *scale,
+		Seed:         *seed,
+		Horizon:      horizon,
+		FineStepSec:  *fineStep,
+		VMsPerServer: *vmsPer,
+	}
+
+	var pols []geovmp.Policy
+	switch *polName {
+	case "proposed":
+		pols = []geovmp.Policy{geovmp.Proposed(*alpha, *seed)}
+	case "ener":
+		pols = []geovmp.Policy{geovmp.EnerAware()}
+	case "pri":
+		pols = []geovmp.Policy{geovmp.PriAware()}
+	case "net":
+		pols = []geovmp.Policy{geovmp.NetAware()}
+	case "all":
+		pols = geovmp.AllPolicies(*alpha, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *polName)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	results, err := geovmp.Compare(spec, pols...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(geovmp.Summarize(results))
+	fmt.Printf("\n%d policies, %d slots, scale %.3g, seed %d — %s\n",
+		len(results), horizon.Slots, *scale, *seed, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,94 @@
+// Command tracegen generates the synthetic workload and dumps it as CSV:
+// per-VM metadata, 5-second utilization samples for selected VMs, and the
+// directed inter-VM volume matrix of selected slots. It exists to inspect
+// and plot the workload the simulator feeds the policies.
+//
+// Usage:
+//
+//	tracegen [-vms 200] [-hours 24] [-seed 42] [-sample 8] [-out traces]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
+)
+
+func main() {
+	var (
+		nVMs   = flag.Int("vms", 200, "initial VMs")
+		hours  = flag.Int("hours", 24, "horizon in hours")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		sample = flag.Int("sample", 8, "number of VMs to dump full utilization traces for")
+		outDir = flag.String("out", "traces", "output directory")
+	)
+	flag.Parse()
+
+	w := trace.New(trace.Config{
+		Seed:       *seed,
+		Horizon:    timeutil.Hours(*hours),
+		InitialVMs: *nVMs,
+	})
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// VM metadata.
+	var b strings.Builder
+	b.WriteString("id,class,service,arrival_slot,depart_slot,image_gb\n")
+	for id := 0; id < w.NumVMs(); id++ {
+		vm := w.VM(id)
+		fmt.Fprintf(&b, "%d,%s,%d,%d,%d,%.0f\n", vm.ID, vm.Class, vm.Service, vm.Arrival, vm.Depart, vm.Image.GB())
+	}
+	write(*outDir, "vms.csv", b.String())
+
+	// Full 5 s utilization traces for the first -sample VMs.
+	b.Reset()
+	b.WriteString("step,seconds")
+	n := *sample
+	if n > w.NumVMs() {
+		n = w.NumVMs()
+	}
+	for id := 0; id < n; id++ {
+		fmt.Fprintf(&b, ",vm%d", id)
+	}
+	b.WriteString("\n")
+	steps := timeutil.Hours(*hours).Steps()
+	for st := timeutil.Step(0); st < steps; st += 12 { // one sample per minute
+		fmt.Fprintf(&b, "%d,%.0f", st, st.Seconds())
+		for id := 0; id < n; id++ {
+			fmt.Fprintf(&b, ",%.4f", w.Util(id, st))
+		}
+		b.WriteString("\n")
+	}
+	write(*outDir, "utilization.csv", b.String())
+
+	// Volume matrices at three representative slots.
+	b.Reset()
+	b.WriteString("slot,from,to,megabytes\n")
+	for _, sl := range []timeutil.Slot{0, timeutil.Slot(*hours / 2), timeutil.Slot(*hours - 1)} {
+		for _, e := range w.Volumes(sl) {
+			fmt.Fprintf(&b, "%d,%d,%d,%.3f\n", sl, e.From, e.To, e.Vol.MB())
+		}
+	}
+	write(*outDir, "volumes.csv", b.String())
+
+	fmt.Printf("workload: %d VMs, %d services over %d hours\n", w.NumVMs(), w.NumServices(), *hours)
+	fmt.Printf("wrote %s/vms.csv, utilization.csv, volumes.csv\n", *outDir)
+}
+
+func write(dir, name, data string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Paperweek reproduces the paper's full evaluation: all four placement
+// methods over a one-week horizon, regenerating Table I and Figures 1-6.
+//
+//	go run ./examples/paperweek            # 5% fleet, fast
+//	go run ./examples/paperweek -scale 1   # the paper's 3000-server fleet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"geovmp"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "fleet scale relative to Table I")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	fineStep := flag.Float64("finestep", 60, "green controller step (paper: 5s)")
+	flag.Parse()
+
+	spec := geovmp.Spec{
+		Scale:       *scale,
+		Seed:        *seed,
+		Horizon:     geovmp.Week(),
+		FineStepSec: *fineStep,
+	}
+
+	fmt.Printf("simulating one week, 4 policies, scale %.3g ...\n", *scale)
+	start := time.Now()
+	results, err := geovmp.Compare(spec, geovmp.AllPolicies(0.9, *seed)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %s\n\n", time.Since(start).Round(time.Second))
+
+	// Regenerate the paper's figures from the results.
+	sc, err := geovmp.NewScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fig := range geovmp.Figures(sc, results) {
+		// Fig. 2's full hourly table is long; print only its chart summary.
+		if fig.ID == "fig2" {
+			fmt.Printf("== FIG2: %s ==\n%s\n", fig.Title, fig.Chart)
+			continue
+		}
+		fmt.Println(fig.Render())
+	}
+	fmt.Print(geovmp.Summarize(results))
+}

@@ -1,0 +1,72 @@
+// Replaytrace shows the trace-replay workflow: export a workload to the CSV
+// replay format, load it back (exactly how real data-center traces would be
+// fed in), run the proposed controller on it, and render the final
+// embedding plane — one dot per VM, colored by the data center it ended up
+// in — as an SVG.
+//
+//	go run ./examples/replaytrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+import "geovmp"
+
+func main() {
+	spec := geovmp.Spec{
+		Scale:       0.03,
+		Seed:        21,
+		Horizon:     geovmp.Days(1),
+		FineStepSec: 300,
+	}
+
+	// 1. Export the synthetic workload in the replay CSV format. Real
+	// production traces go into the same three files: vms.csv,
+	// profiles.csv, volumes.csv.
+	sc, err := geovmp.NewScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "geovmp-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := geovmp.ExportWorkload(sc.Workload, dir, spec.Horizon, 12); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported workload to %s\n", dir)
+
+	// 2. Load it back and install it into a fresh scenario.
+	replayed, err := geovmp.LoadWorkload(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scReplay, err := geovmp.NewScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scReplay.Workload = replayed
+
+	// 3. Run the proposed controller on the replayed trace.
+	ctrl := geovmp.Proposed(0.9, spec.Seed)
+	res, err := geovmp.Run(scReplay, ctrl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed run: cost=%.2f EUR, energy=%.4f GJ, %d migrations\n",
+		float64(res.OpCost), res.TotalEnergy.GJ(), res.Migrations)
+
+	// 4. Render the final embedding plane, colored by each VM's final DC.
+	svg := geovmp.EmbeddingSVG(ctrl, "VM embedding, colored by final DC",
+		func(id int) int { return res.FinalPlacement[id] },
+		[]string{"DC1-Lisbon", "DC2-Zurich", "DC3-Helsinki"})
+	out := "embedding.svg"
+	if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d VMs) — open it in a browser\n", out, len(res.FinalPlacement))
+}

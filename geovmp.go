@@ -1,0 +1,199 @@
+// Package geovmp reproduces "Exploiting CPU-Load and Data Correlations in
+// Multi-Objective VM Placement for Geo-Distributed Data Centers" (Pahlevan,
+// Garcia del Valle, Atienza — DATE 2016) as a runnable Go library.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Proposed() builds the paper's two-phase controller: force-directed
+//     embedding of VMs under data-correlation attraction and CPU-load-
+//     correlation repulsion, energy-capacity-capped k-means clustering per
+//     DC, migration revision under the network latency constraint
+//     (Algorithm 2), and correlation-aware local server allocation with
+//     DVFS.
+//   - EnerAware, PriAware and NetAware build the paper's three baselines.
+//   - NewScenario(Spec{...}) constructs the evaluation world of Sect. V:
+//     the Table I fleet (Lisbon / Zurich / Helsinki), PV plants with WCMA
+//     forecasting, lithium-ion batteries at 50% DoD, two-level tariffs,
+//     the full-mesh 100 Gb/s backbone with stochastic BERs, and the
+//     synthetic multi-class workload with bidirectional inter-VM volumes.
+//   - Run simulates one policy over a scenario; Compare runs a set of
+//     policies over identical replicas of a scenario — the paper's
+//     comparison discipline.
+//
+// Minimal use:
+//
+//	res, err := geovmp.Compare(geovmp.Spec{Scale: 0.05, Seed: 42},
+//	    geovmp.Proposed(0.9, 42), geovmp.EnerAware())
+//
+// Everything is deterministic in Spec.Seed.
+package geovmp
+
+import (
+	"geovmp/internal/config"
+	"geovmp/internal/core"
+	"geovmp/internal/policy"
+	"geovmp/internal/report"
+	"geovmp/internal/sim"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
+	"geovmp/internal/viz"
+)
+
+// Policy is a complete placement method (global clustering phase + local
+// allocation phase). Implementations: Proposed, EnerAware, PriAware,
+// NetAware.
+type Policy = policy.Policy
+
+// Scenario is a fully-constructed evaluation world. Its fleet and
+// forecaster state are mutable; use one Scenario per Run.
+type Scenario = sim.Scenario
+
+// Result carries one run's metrics: operational cost (Fig. 1), facility
+// energy (Fig. 2), the response-time distribution (Fig. 3), migration and
+// consolidation counters, and energy sourcing totals.
+type Result = sim.Result
+
+// Spec parameterizes scenario construction; the zero value plus a Seed
+// gives the paper's one-week Table I setup at full scale.
+type Spec = config.Spec
+
+// Horizon is an experiment duration in one-hour slots.
+type Horizon = timeutil.Horizon
+
+// ForecastKind selects the renewable-energy forecaster.
+type ForecastKind = config.ForecastKind
+
+// Forecaster choices for Spec.Forecast.
+const (
+	ForecastWCMA      = config.ForecastWCMA
+	ForecastEWMA      = config.ForecastEWMA
+	ForecastLastValue = config.ForecastLastValue
+	ForecastOracle    = config.ForecastOracle
+)
+
+// Week returns the paper's one-week horizon; Days and Hours build shorter
+// ones.
+func Week() Horizon { return timeutil.Week() }
+
+// Days returns an n-day horizon.
+func Days(n int) Horizon { return timeutil.Days(n) }
+
+// HoursOf returns an n-hour horizon.
+func HoursOf(n int) Horizon { return timeutil.Hours(n) }
+
+// Proposed returns the paper's two-phase multi-objective controller. alpha
+// in [0,1] weighs performance (data correlation, toward 1) against energy
+// (CPU-load correlation, toward 0); out-of-range values select the default
+// 0.9. A controller carries per-slot state: use a fresh one per Run.
+func Proposed(alpha float64, seed uint64) *core.Controller {
+	return core.New(alpha, seed)
+}
+
+// EnerAware returns the energy-aware baseline [5] (Kim et al., DATE 2013):
+// FFD clustering over DCs plus correlation-aware local allocation.
+func EnerAware() Policy { return policy.EnerAware{} }
+
+// PriAware returns the cost-aware baseline [17] (Gu et al., ICNC 2015):
+// greedy packing onto the DCs with the lowest current grid price.
+func PriAware() Policy { return policy.PriAware{} }
+
+// NetAware returns the network-aware baseline [6] (Biran et al., CCGRID
+// 2012, GH heuristic): traffic-affine, load-balanced placement.
+func NetAware() Policy { return policy.NetAware{} }
+
+// NewScenario builds the evaluation world described by spec. Each call
+// returns independent mutable state, so build one per policy when
+// comparing.
+func NewScenario(spec Spec) (*Scenario, error) { return config.Build(spec) }
+
+// Run simulates pol over sc and returns its metrics.
+func Run(sc *Scenario, pol Policy) (*Result, error) { return sim.Run(sc, pol) }
+
+// Compare evaluates each policy on an identical fresh replica of the
+// scenario described by spec — same workload, same network draws, same
+// initial battery state — and returns the results in input order.
+func Compare(spec Spec, pols ...Policy) ([]*Result, error) {
+	out := make([]*Result, 0, len(pols))
+	for _, p := range pols {
+		sc, err := NewScenario(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(sc, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AllPolicies returns the paper's four methods in evaluation order:
+// Proposed, Ener-aware, Pri-aware, Net-aware.
+func AllPolicies(alpha float64, seed uint64) []Policy {
+	return []Policy{Proposed(alpha, seed), EnerAware(), PriAware(), NetAware()}
+}
+
+// Summarize renders a one-line-per-policy metrics table for a result set.
+func Summarize(results []*Result) string { return report.Summary(results) }
+
+// Figure is one regenerated table or figure of the paper's evaluation
+// (Render for text, WriteCSV for data).
+type Figure = report.Figure
+
+// Workload is the interface feeding VMs, traces and volumes into the
+// simulator. NewScenario installs the synthetic generator; LoadWorkload
+// reads a replayed trace directory instead.
+type Workload = trace.Source
+
+// ExportWorkload writes the first `slots` hours of any workload to dir in
+// the replay CSV format (vms.csv / profiles.csv / volumes.csv) with
+// `samples` utilization samples per slot.
+func ExportWorkload(w Workload, dir string, slots Horizon, samples int) error {
+	return trace.ExportReplay(w, dir, slots.Slots, samples)
+}
+
+// LoadWorkload reads a replay directory written by ExportWorkload (or
+// produced from real DC traces in the same format). Assign the result to
+// Scenario.Workload to drive experiments with it.
+func LoadWorkload(dir string) (Workload, error) { return trace.LoadReplay(dir) }
+
+// Figures regenerates the paper's Table I and Figs. 1-6 from a result set
+// produced over sc (or an identical scenario replica).
+func Figures(sc *Scenario, results []*Result) []*Figure {
+	return report.All(sc.Fleet, results)
+}
+
+// ProposedController is the concrete type behind Proposed, exposing the
+// controller's tunables (Alpha, Stick, NoEmbedding, ...) and its embedding
+// layout via Positions.
+type ProposedController = core.Controller
+
+// EmbeddingSVG renders a Proposed controller's current 2D point layout as
+// an SVG document, coloring each VM by groupOf (for example its final DC
+// from Result.FinalPlacement); groups names the legend entries.
+func EmbeddingSVG(ctrl *ProposedController, title string, groupOf func(id int) int, groups []string) string {
+	return viz.Plane(title, ctrl.Positions(), groupOf, groups)
+}
+
+// CompareSeeds repeats Compare over `seeds` consecutive seeds starting at
+// spec.Seed, building fresh policies per seed via mkPolicies (stateful
+// policies cannot be reused across runs). It returns one result set per
+// seed, ready for AggregateFigure.
+func CompareSeeds(spec Spec, seeds int, mkPolicies func(seed uint64) []Policy) ([][]*Result, error) {
+	var out [][]*Result
+	for k := 0; k < seeds; k++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(k)
+		results, err := Compare(s, mkPolicies(s.Seed)...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, results)
+	}
+	return out, nil
+}
+
+// AggregateFigure summarizes multi-seed runs into mean +/- std per policy
+// and headline metric.
+func AggregateFigure(runs [][]*Result) *Figure { return report.Aggregate(runs) }

@@ -1,0 +1,154 @@
+// Package alloc implements the paper's local phase: allocating each DC
+// cluster's VMs to the minimum number of servers and choosing each server's
+// DVFS frequency.
+//
+// Two allocators are provided:
+//
+//   - CorrelationAware reproduces the approach of Kim et al. (DATE 2013),
+//     the paper's reference [5] and the engine of both the proposed method
+//     and the Ener-aware baseline. It packs VMs first-fit-decreasing by
+//     peak utilization, but admission uses the *combined peak* of the
+//     candidate server's aggregated profile — two anti-correlated VMs whose
+//     peaks never coincide can share capacity that stationary sizing would
+//     deny, and two correlated VMs are pushed to different servers because
+//     their combined peak bursts through the cap. After packing, each
+//     server gets the lowest frequency level whose capacity still covers
+//     its combined peak (the DVFS step).
+//
+//   - PlainFFD is the stationary baseline used by Pri-aware and Net-aware
+//     locally: admission by sum of individual peak utilizations.
+//
+// Both honor a finite server budget; when a DC is truly out of capacity the
+// remaining VMs overflow onto the least-loaded server (tracked in
+// Result.Overflowed — the simulator surfaces it as degraded performance
+// rather than silently dropping load).
+package alloc
+
+import (
+	"sort"
+
+	"geovmp/internal/correlation"
+	"geovmp/internal/power"
+)
+
+// ServerAlloc is one active server's allocation.
+type ServerAlloc struct {
+	VMs       []int
+	Level     int     // DVFS frequency level index
+	Peak      float64 // admission peak estimate (combined or stationary)
+	aggregate []float64
+}
+
+// Result is a DC's local allocation for one slot.
+type Result struct {
+	Servers    []ServerAlloc
+	Active     int // number of servers powered on
+	Overflowed int // VMs placed past nominal capacity
+}
+
+// ServerOf returns a map from VM id to server index.
+func (r *Result) ServerOf() map[int]int {
+	m := make(map[int]int)
+	for s, srv := range r.Servers {
+		for _, id := range srv.VMs {
+			m[id] = s
+		}
+	}
+	return m
+}
+
+// CorrelationAware packs ids onto at most maxServers servers of the given
+// model using combined-peak admission over the slot profiles in ps.
+func CorrelationAware(ids []int, ps *correlation.ProfileSet, model *power.ServerModel, maxServers int) Result {
+	return pack(ids, ps, model, maxServers, true)
+}
+
+// PlainFFD packs ids with stationary sum-of-peaks admission.
+func PlainFFD(ids []int, ps *correlation.ProfileSet, model *power.ServerModel, maxServers int) Result {
+	return pack(ids, ps, model, maxServers, false)
+}
+
+func pack(ids []int, ps *correlation.ProfileSet, model *power.ServerModel, maxServers int, corrAware bool) Result {
+	capTop := model.MaxCapacity()
+	samples := ps.Samples()
+
+	// First-fit-decreasing order by individual peak; ties by id.
+	order := append([]int(nil), ids...)
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := ps.Peak(order[a]), ps.Peak(order[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return order[a] < order[b]
+	})
+
+	var res Result
+	admit := func(srv *ServerAlloc, id int) (float64, bool) {
+		if corrAware {
+			prof := ps.Profile(id)
+			peak := 0.0
+			for t := 0; t < samples && t < len(prof); t++ {
+				if s := srv.aggregate[t] + prof[t]; s > peak {
+					peak = s
+				}
+			}
+			return peak, peak <= capTop+1e-9
+		}
+		peak := srv.Peak + ps.Peak(id)
+		return peak, peak <= capTop+1e-9
+	}
+	place := func(srv *ServerAlloc, id int, peak float64) {
+		srv.VMs = append(srv.VMs, id)
+		srv.Peak = peak
+		if corrAware {
+			prof := ps.Profile(id)
+			for t := 0; t < samples && t < len(prof); t++ {
+				srv.aggregate[t] += prof[t]
+			}
+		}
+	}
+
+	for _, id := range order {
+		placed := false
+		for s := range res.Servers {
+			if peak, ok := admit(&res.Servers[s], id); ok {
+				place(&res.Servers[s], id, peak)
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		if len(res.Servers) < maxServers {
+			srv := ServerAlloc{aggregate: make([]float64, samples)}
+			peak, _ := admit(&srv, id)
+			place(&srv, id, peak)
+			res.Servers = append(res.Servers, srv)
+			continue
+		}
+		// Out of servers: overflow onto the least-peaked server.
+		best := 0
+		for s := 1; s < len(res.Servers); s++ {
+			if res.Servers[s].Peak < res.Servers[best].Peak {
+				best = s
+			}
+		}
+		if len(res.Servers) == 0 {
+			// No server budget at all; drop silently is unacceptable, so
+			// open one anyway and flag it.
+			res.Servers = append(res.Servers, ServerAlloc{aggregate: make([]float64, samples)})
+		}
+		peak, _ := admit(&res.Servers[best], id)
+		place(&res.Servers[best], id, peak)
+		res.Overflowed++
+	}
+
+	// DVFS: lowest level covering each server's admission peak.
+	for s := range res.Servers {
+		lvl, _ := model.LowestLevelFor(res.Servers[s].Peak)
+		res.Servers[s].Level = lvl
+	}
+	res.Active = len(res.Servers)
+	return res
+}

@@ -1,0 +1,206 @@
+// Package cluster implements the second step of the paper's global phase:
+// the modified k-means that groups embedded VM points into one cluster per
+// data center, subject to each DC's energy capacity cap.
+//
+// The modifications to textbook k-means (Sect. IV-B.1, step 2):
+//
+//   - k is fixed to the number of DCs, and cluster c's total assigned VM
+//     load (predicted slot energy, Joules) should respect Caps[c] — the cap
+//     derived from battery state, renewable forecast and grid price.
+//   - Initial centroids come from the previous slot's final positions
+//     ("the initial centroid of each cluster is calculated based on the
+//     last position of points available in that cluster in the previous
+//     time slot"), which stabilizes assignments across slots and keeps
+//     migration churn low.
+//   - Network latency is deliberately ignored here; the migration revision
+//     step (package migrate) enforces it.
+//
+// Capacity handling: points are assigned in descending load order, each to
+// the nearest centroid with remaining cap; when no cluster has room the
+// point overflows to the cluster with the largest remaining (least
+// violated) cap. Caps are therefore soft targets exactly like the paper's
+// "capacity cap", with feasibility restored by the later migration step and
+// the local allocator.
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"geovmp/internal/embed"
+)
+
+// Item is one VM to cluster.
+type Item struct {
+	ID   int
+	Pos  embed.Point
+	Load float64 // predicted slot energy, Joules
+	// Current is the cluster the item sits in today, or -1 when it has
+	// none; Config.Stick discounts the distance to it.
+	Current int
+}
+
+// Config tunes the clustering.
+type Config struct {
+	K        int           // number of clusters (DCs)
+	Caps     []float64     // per-cluster capacity caps, Joules (len K)
+	Init     []embed.Point // initial centroids (len K); zero value -> spread
+	MaxIters int           // default 20
+	Converge float64       // centroid movement threshold (default 1e-3)
+	// Stick in (0, 1] multiplies an item's distance to its Current
+	// cluster's centroid, making staying cheaper than moving — migration
+	// hysteresis. 0 or 1 disables the bias.
+	Stick float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxIters == 0 {
+		c.MaxIters = 20
+	}
+	if c.Converge == 0 {
+		c.Converge = 1e-3
+	}
+}
+
+// Result is the clustering outcome.
+type Result struct {
+	Assign    map[int]int   // item id -> cluster index
+	Centroids []embed.Point // final centroids
+	LoadPer   []float64     // total assigned load per cluster
+	Iters     int
+}
+
+// DistToCentroid returns the distance from an item's position to cluster
+// c's final centroid; the migration step sorts its queues with this.
+func (r *Result) DistToCentroid(pos embed.Point, c int) float64 {
+	return embed.Dist(pos, r.Centroids[c])
+}
+
+// Run clusters items into cfg.K capacity-capped clusters. It panics if K
+// and the caps/init lengths disagree; callers own the configuration.
+func Run(items []Item, cfg Config) Result {
+	cfg.applyDefaults()
+	if cfg.K <= 0 {
+		panic("cluster: K must be positive")
+	}
+	if len(cfg.Caps) != cfg.K {
+		panic("cluster: len(Caps) != K")
+	}
+	cents := make([]embed.Point, cfg.K)
+	if len(cfg.Init) == cfg.K {
+		copy(cents, cfg.Init)
+	} else {
+		// Spread centroids on a circle; deterministic and seed-free.
+		for c := 0; c < cfg.K; c++ {
+			ang := 2 * math.Pi * float64(c) / float64(cfg.K)
+			cents[c] = embed.Point{X: 8 * math.Cos(ang), Y: 8 * math.Sin(ang)}
+		}
+	}
+
+	// Assign in descending load order so the big consumers grab capacity
+	// near their preferred centroid first (the standard capped-clustering
+	// device; ties broken by id for determinism).
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		if ia.Load != ib.Load {
+			return ia.Load > ib.Load
+		}
+		return ia.ID < ib.ID
+	})
+
+	res := Result{Assign: make(map[int]int, len(items))}
+	var loads []float64
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		res.Iters = iter + 1
+		loads = make([]float64, cfg.K)
+		for _, idx := range order {
+			it := items[idx]
+			best := -1
+			bestD := math.Inf(1)
+			for c := 0; c < cfg.K; c++ {
+				if loads[c]+it.Load > cfg.Caps[c] {
+					continue
+				}
+				d := embed.Dist(it.Pos, cents[c])
+				if cfg.Stick > 0 && cfg.Stick < 1 && c == it.Current {
+					d *= cfg.Stick
+				}
+				if d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if best < 0 {
+				// Every cluster full: overflow to the most remaining cap.
+				bestRem := math.Inf(-1)
+				for c := 0; c < cfg.K; c++ {
+					if rem := cfg.Caps[c] - loads[c]; rem > bestRem {
+						bestRem = rem
+						best = c
+					}
+				}
+			}
+			res.Assign[it.ID] = best
+			loads[best] += it.Load
+		}
+
+		// Recompute centroids; empty clusters keep their position.
+		next := make([]embed.Point, cfg.K)
+		counts := make([]int, cfg.K)
+		for _, it := range items {
+			c := res.Assign[it.ID]
+			next[c].X += it.Pos.X
+			next[c].Y += it.Pos.Y
+			counts[c]++
+		}
+		var moved float64
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				next[c] = cents[c]
+				continue
+			}
+			next[c].X /= float64(counts[c])
+			next[c].Y /= float64(counts[c])
+			moved += embed.Dist(next[c], cents[c])
+		}
+		cents = next
+		if moved < cfg.Converge {
+			break
+		}
+	}
+	res.Centroids = cents
+	res.LoadPer = loads
+	return res
+}
+
+// CentroidsOf recomputes centroids for an externally-supplied assignment —
+// the hook for carrying "last position of points available in that cluster"
+// into the next slot's Config.Init.
+func CentroidsOf(items []Item, assign map[int]int, k int, fallback []embed.Point) []embed.Point {
+	cents := make([]embed.Point, k)
+	counts := make([]int, k)
+	for _, it := range items {
+		c, ok := assign[it.ID]
+		if !ok || c < 0 || c >= k {
+			continue
+		}
+		cents[c].X += it.Pos.X
+		cents[c].Y += it.Pos.Y
+		counts[c]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			if len(fallback) == k {
+				cents[c] = fallback[c]
+			}
+			continue
+		}
+		cents[c].X /= float64(counts[c])
+		cents[c].Y /= float64(counts[c])
+	}
+	return cents
+}

@@ -1,0 +1,176 @@
+// Package config builds ready-to-run scenarios: the paper's Table I fleet
+// (Lisbon / Zurich / Helsinki with 1500/1000/500 servers, 150/100/50 kWp PV
+// and 960/720/480 kWh batteries at 50% DoD), its workload parameters, and
+// proportionally scaled-down variants for fast experimentation and tests.
+//
+// Every call constructs fresh mutable state (battery banks, forecasters,
+// green controllers), so one Spec can mint an identical-but-independent
+// scenario per policy — the comparison discipline the paper's evaluation
+// relies on.
+package config
+
+import (
+	"math"
+
+	"geovmp/internal/battery"
+	"geovmp/internal/cooling"
+	"geovmp/internal/dc"
+	"geovmp/internal/green"
+	"geovmp/internal/network"
+	"geovmp/internal/power"
+	"geovmp/internal/price"
+	"geovmp/internal/sim"
+	"geovmp/internal/solar"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
+	"geovmp/internal/units"
+)
+
+// ForecastKind selects the renewable forecaster (ablation A5).
+type ForecastKind int
+
+// Forecaster choices.
+const (
+	ForecastWCMA ForecastKind = iota // the paper's [21] default
+	ForecastEWMA
+	ForecastLastValue
+	ForecastOracle
+)
+
+// Spec parameterizes scenario construction.
+type Spec struct {
+	// Scale multiplies Table I fleet sizes and energy sources; 1.0 is the
+	// paper's setup, 0.1 a laptop-fast variant with identical structure.
+	Scale float64
+	// Seed drives all randomness (workload, network, controllers).
+	Seed uint64
+	// Horizon defaults to the paper's one week.
+	Horizon timeutil.Horizon
+	// VMsPerServer sizes the workload relative to the fleet (default 7
+	// initial VMs per server).
+	VMsPerServer float64
+	// FineStepSec is the green controller period (default 5 s; tests use
+	// 60 s for speed).
+	FineStepSec float64
+	// QoS is the migration latency guarantee (default 0.98).
+	QoS float64
+	// Forecast selects the renewable forecaster (default WCMA).
+	Forecast ForecastKind
+	// BatteryScale additionally scales battery capacity (ablation A4);
+	// 0 means 1.0.
+	BatteryScale float64
+}
+
+func (s *Spec) applyDefaults() {
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.Horizon.Slots == 0 {
+		s.Horizon = timeutil.Week()
+	}
+	if s.VMsPerServer == 0 {
+		s.VMsPerServer = 7
+	}
+	if s.QoS == 0 {
+		s.QoS = 0.98
+	}
+	if s.BatteryScale == 0 {
+		s.BatteryScale = 1
+	}
+}
+
+// site is one row of Table I plus the geographic models.
+type site struct {
+	name    string
+	servers int
+	pvKWp   float64
+	battKWh float64
+	climate cooling.Climate
+	plant   solar.Plant
+	tariff  price.Tariff
+}
+
+func tableI() []site {
+	return []site{
+		{name: "DC1-Lisbon", servers: 1500, pvKWp: 150, battKWh: 960,
+			climate: cooling.Lisbon(), plant: solar.LisbonPlant(), tariff: price.LisbonTariff()},
+		{name: "DC2-Zurich", servers: 1000, pvKWp: 100, battKWh: 720,
+			climate: cooling.Zurich(), plant: solar.ZurichPlant(), tariff: price.ZurichTariff()},
+		{name: "DC3-Helsinki", servers: 500, pvKWp: 50, battKWh: 480,
+			climate: cooling.Helsinki(), plant: solar.HelsinkiPlant(), tariff: price.HelsinkiTariff()},
+	}
+}
+
+// newForecaster builds the selected forecaster for a plant.
+func newForecaster(kind ForecastKind, plant solar.Plant) solar.Forecaster {
+	switch kind {
+	case ForecastEWMA:
+		return solar.NewEWMA(0.5)
+	case ForecastLastValue:
+		return &solar.LastValue{}
+	case ForecastOracle:
+		return &solar.Oracle{Plant: plant}
+	default:
+		return solar.NewWCMA(4, 0.7)
+	}
+}
+
+// Build constructs a complete scenario from the spec. Each call returns
+// independent mutable state.
+func Build(spec Spec) (*sim.Scenario, error) {
+	spec.applyDefaults()
+	sites := tableI()
+	fleet := make(dc.Fleet, len(sites))
+	for i, st := range sites {
+		servers := int(math.Max(1, math.Round(float64(st.servers)*spec.Scale)))
+		plant := st.plant
+		plant.Peak = units.Power(st.pvKWp*spec.Scale) * units.Kilowatt
+		bank, err := battery.New(battery.Config{
+			Capacity:   units.Energy(st.battKWh*spec.Scale*spec.BatteryScale) * units.KilowattHour,
+			DoD:        0.5,
+			InitialSoC: 0.75,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tariff := st.tariff
+		fleet[i] = &dc.DC{
+			Index:    i,
+			Name:     st.name,
+			Servers:  servers,
+			Model:    power.E5410(),
+			Cooling:  cooling.Site{Climate: st.climate, Model: cooling.DefaultPUE()},
+			Plant:    plant,
+			Bank:     bank,
+			Tariff:   tariff,
+			Forecast: newForecaster(spec.Forecast, plant),
+			Green:    &green.Controller{Tariff: tariff, Bank: bank},
+		}
+	}
+
+	initialVMs := int(math.Round(float64(fleet.TotalServers()) * spec.VMsPerServer))
+	if initialVMs < 10 {
+		initialVMs = 10
+	}
+	w := trace.New(trace.Config{
+		Seed:       spec.Seed,
+		Horizon:    spec.Horizon,
+		InitialVMs: initialVMs,
+	})
+
+	return &sim.Scenario{
+		Name:        "paper-geo3dc",
+		Fleet:       fleet,
+		Workload:    w,
+		Topo:        network.PaperTopology(),
+		Horizon:     spec.Horizon,
+		Seed:        spec.Seed,
+		QoS:         spec.QoS,
+		FineStepSec: spec.FineStepSec,
+	}, nil
+}
+
+// BatteryZero is a convenience spec mutation for the battery ablation: a
+// near-zero battery (exactly zero capacity would divide the C-rate away, so
+// use a vanishingly small bank).
+const BatteryZero = 1e-6

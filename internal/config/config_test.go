@@ -1,0 +1,142 @@
+package config
+
+import (
+	"math"
+	"testing"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+func TestBuildPaperScale(t *testing.T) {
+	sc, err := Build(Spec{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table I numbers.
+	wantServers := []int{1500, 1000, 500}
+	wantPVkW := []float64{150, 100, 50}
+	wantBattKWh := []float64{960, 720, 480}
+	for i, d := range sc.Fleet {
+		if d.Servers != wantServers[i] {
+			t.Errorf("DC%d servers = %d, want %d", i+1, d.Servers, wantServers[i])
+		}
+		if math.Abs(d.Plant.Peak.KW()-wantPVkW[i]) > 1e-9 {
+			t.Errorf("DC%d PV = %v kW, want %v", i+1, d.Plant.Peak.KW(), wantPVkW[i])
+		}
+		if math.Abs(d.Bank.Capacity().KWh()-wantBattKWh[i]) > 1e-9 {
+			t.Errorf("DC%d battery = %v kWh, want %v", i+1, d.Bank.Capacity().KWh(), wantBattKWh[i])
+		}
+	}
+	if sc.Horizon != timeutil.Week() {
+		t.Fatalf("default horizon = %v, want a week", sc.Horizon)
+	}
+	if sc.QoS != 0.98 {
+		t.Fatalf("QoS = %v, want 0.98", sc.QoS)
+	}
+}
+
+func TestBuildScaling(t *testing.T) {
+	sc, err := Build(Spec{Scale: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Fleet[0].Servers != 150 || sc.Fleet[1].Servers != 100 || sc.Fleet[2].Servers != 50 {
+		t.Fatalf("scaled servers wrong: %d %d %d",
+			sc.Fleet[0].Servers, sc.Fleet[1].Servers, sc.Fleet[2].Servers)
+	}
+	if math.Abs(sc.Fleet[0].Plant.Peak.KW()-15) > 1e-9 {
+		t.Fatalf("scaled PV = %v", sc.Fleet[0].Plant.Peak.KW())
+	}
+}
+
+func TestBuildWorkloadSizing(t *testing.T) {
+	sc, err := Build(Spec{Scale: 0.02, Seed: 3, VMsPerServer: 4, Horizon: timeutil.Days(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sc.Fleet.TotalServers()
+	got := len(sc.Workload.ActiveVMs(0))
+	if got != 4*total {
+		t.Fatalf("initial VMs = %d, want %d", got, 4*total)
+	}
+}
+
+func TestBatteryScale(t *testing.T) {
+	sc, err := Build(Spec{Scale: 0.1, Seed: 1, BatteryScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sc.Fleet[0].Bank.Capacity().KWh()-192) > 1e-9 {
+		t.Fatalf("battery scale ignored: %v kWh", sc.Fleet[0].Bank.Capacity().KWh())
+	}
+	tiny, err := Build(Spec{Scale: 0.1, Seed: 1, BatteryScale: BatteryZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Fleet[0].Bank.Capacity() > units.Energy(1*units.KilowattHour) {
+		t.Fatalf("BatteryZero not tiny: %v", tiny.Fleet[0].Bank.Capacity())
+	}
+}
+
+func TestForecastKinds(t *testing.T) {
+	wants := map[ForecastKind]string{
+		ForecastWCMA:      "wcma",
+		ForecastEWMA:      "ewma",
+		ForecastLastValue: "last-value",
+		ForecastOracle:    "oracle",
+	}
+	for kind, want := range wants {
+		sc, err := Build(Spec{Scale: 0.01, Seed: 1, Forecast: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sc.Fleet[0].Forecast.Name(); got != want {
+			t.Errorf("kind %d: forecaster %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestIndependentState(t *testing.T) {
+	a, err := Build(Spec{Scale: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Spec{Scale: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draining a's battery must not affect b's.
+	a.Fleet[0].Bank.Discharge(units.Power(1e9), 3600)
+	if a.Fleet[0].Bank.SoC() == b.Fleet[0].Bank.SoC() {
+		t.Fatal("scenarios share battery state")
+	}
+}
+
+func TestIdenticalWorkloads(t *testing.T) {
+	a, _ := Build(Spec{Scale: 0.01, Seed: 9})
+	b, _ := Build(Spec{Scale: 0.01, Seed: 9})
+	if a.Workload.NumVMs() != b.Workload.NumVMs() {
+		t.Fatal("same-seed workloads differ")
+	}
+	for st := 0; st < 100; st++ {
+		if a.Workload.Util(0, timeutil.Step(st)) != b.Workload.Util(0, timeutil.Step(st)) {
+			t.Fatal("same-seed traces differ")
+		}
+	}
+}
+
+func TestMinimumServers(t *testing.T) {
+	sc, err := Build(Spec{Scale: 1e-9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range sc.Fleet {
+		if d.Servers < 1 {
+			t.Fatalf("%s has %d servers", d.Name, d.Servers)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package correlation computes the two VM relationships the placement
+// algorithm trades off (paper Sect. IV-B, Eq. 5):
+//
+//   - CPU-load correlation Corr_cpu in (0, 1] — "computed as a worst-case
+//     peak CPU utilization when the peaks of two VMs coincide during the
+//     last time slot". Two VMs whose peaks land on the same sample score 1;
+//     perfectly staggered peaks approach 1/2 (the combined peak is then just
+//     the larger individual peak). It feeds the repulsion force.
+//   - Data correlation Corr_data in [-1, 0) — the (directed) amount of data
+//     two VMs exchange, normalized against a reference volume. It feeds the
+//     attraction force; zero-volume pairs have no attraction at all (0).
+//
+// The package also offers classic Pearson correlation for analysis and the
+// ProfileSet container the controllers use to evaluate many pairwise
+// correlations against per-slot downsampled utilization profiles.
+package correlation
+
+import (
+	"math"
+
+	"geovmp/internal/units"
+)
+
+// PeakCoincidence returns the paper's CPU-load correlation of two
+// utilization profiles sampled over the same slot: the combined worst-case
+// peak normalized by the sum of the individual peaks,
+//
+//	max_t(a[t]+b[t]) / (max_t a[t] + max_t b[t])  in (0, 1].
+//
+// Both profiles idle (zero peaks) yields the neutral value 0.5. Profiles
+// must have equal length; unequal lengths compare the common prefix.
+func PeakCoincidence(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0.5
+	}
+	var peakA, peakB, peakAB float64
+	for t := 0; t < n; t++ {
+		if a[t] > peakA {
+			peakA = a[t]
+		}
+		if b[t] > peakB {
+			peakB = b[t]
+		}
+		if s := a[t] + b[t]; s > peakAB {
+			peakAB = s
+		}
+	}
+	den := peakA + peakB
+	if den <= 0 {
+		return 0.5
+	}
+	c := peakAB / den
+	// Floor slightly above zero to respect the documented (0,1] range.
+	if c < 1e-9 {
+		c = 1e-9
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// CombinedPeak returns max_t of the element-wise sum of the profiles — the
+// worst-case simultaneous demand. Server packers use it as the
+// correlation-aware capacity check: packing by CombinedPeak instead of the
+// sum of individual peaks is exactly what lets anti-correlated VMs share a
+// server.
+func CombinedPeak(profiles [][]float64) float64 {
+	if len(profiles) == 0 {
+		return 0
+	}
+	n := len(profiles[0])
+	for _, p := range profiles {
+		if len(p) < n {
+			n = len(p)
+		}
+	}
+	var peak float64
+	for t := 0; t < n; t++ {
+		var s float64
+		for _, p := range profiles {
+			s += p[t]
+		}
+		if s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// profiles, or 0 when either has zero variance or the profiles are empty.
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for t := 0; t < n; t++ {
+		ma += a[t]
+		mb += b[t]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for t := 0; t < n; t++ {
+		da := a[t] - ma
+		db := b[t] - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// NormalizeData maps a directed transfer volume to the attraction-force
+// range: 0 for no traffic, approaching -1 as vol reaches ref and clamping
+// at -1 beyond it. ref must be positive; non-positive refs yield 0.
+func NormalizeData(vol, ref units.DataSize) float64 {
+	if vol <= 0 || ref <= 0 {
+		return 0
+	}
+	f := float64(vol) / float64(ref)
+	if f > 1 {
+		f = 1
+	}
+	return -f
+}
+
+// ProfileSet holds per-VM downsampled utilization profiles for one slot and
+// answers pairwise queries. Build one per slot via Add, then query.
+type ProfileSet struct {
+	samples  int
+	profiles map[int][]float64
+	peaks    map[int]float64
+}
+
+// NewProfileSet creates a set expecting profiles of the given sample count.
+func NewProfileSet(samples int) *ProfileSet {
+	return &ProfileSet{
+		samples:  samples,
+		profiles: make(map[int][]float64),
+		peaks:    make(map[int]float64),
+	}
+}
+
+// Samples returns the per-profile sample count.
+func (ps *ProfileSet) Samples() int { return ps.samples }
+
+// Add registers a VM's profile. The slice is retained; callers hand over
+// ownership.
+func (ps *ProfileSet) Add(id int, prof []float64) {
+	ps.profiles[id] = prof
+	var peak float64
+	for _, u := range prof {
+		if u > peak {
+			peak = u
+		}
+	}
+	ps.peaks[id] = peak
+}
+
+// Has reports whether a profile for id exists.
+func (ps *ProfileSet) Has(id int) bool {
+	_, ok := ps.profiles[id]
+	return ok
+}
+
+// Profile returns the registered profile for id (nil when absent).
+func (ps *ProfileSet) Profile(id int) []float64 { return ps.profiles[id] }
+
+// Peak returns the registered peak for id (0 when absent).
+func (ps *ProfileSet) Peak(id int) float64 { return ps.peaks[id] }
+
+// CPUCorr returns the peak-coincidence CPU-load correlation of two
+// registered VMs; pairs with a missing profile return the neutral 0.5.
+func (ps *ProfileSet) CPUCorr(i, j int) float64 {
+	a, okA := ps.profiles[i]
+	b, okB := ps.profiles[j]
+	if !okA || !okB {
+		return 0.5
+	}
+	return PeakCoincidence(a, b)
+}
+
+// Mean returns the average utilization of id's profile (0 when absent).
+func (ps *ProfileSet) Mean(id int) float64 {
+	p, ok := ps.profiles[id]
+	if !ok || len(p) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range p {
+		sum += u
+	}
+	return sum / float64(len(p))
+}
+
+// DataMatrix is a sparse directed volume matrix keyed by VM pair, the
+// container for a slot's inter-VM traffic.
+type DataMatrix struct {
+	vols map[[2]int]units.DataSize
+	max  units.DataSize
+}
+
+// NewDataMatrix returns an empty matrix.
+func NewDataMatrix() *DataMatrix {
+	return &DataMatrix{vols: make(map[[2]int]units.DataSize)}
+}
+
+// Add accumulates volume onto the directed pair (from, to).
+func (m *DataMatrix) Add(from, to int, vol units.DataSize) {
+	if vol <= 0 || from == to {
+		return
+	}
+	k := [2]int{from, to}
+	m.vols[k] += vol
+	if m.vols[k] > m.max {
+		m.max = m.vols[k]
+	}
+}
+
+// Vol returns the directed volume from->to.
+func (m *DataMatrix) Vol(from, to int) units.DataSize {
+	return m.vols[[2]int{from, to}]
+}
+
+// Max returns the largest directed volume seen, the natural normalization
+// reference for attraction forces.
+func (m *DataMatrix) Max() units.DataSize { return m.max }
+
+// Mean returns the average non-zero directed volume (0 when empty). Force
+// normalization against a multiple of the mean keeps attraction meaningful
+// under heavy-tailed volume distributions, where normalizing by the maximum
+// would flatten almost every pair to zero.
+func (m *DataMatrix) Mean() units.DataSize {
+	if len(m.vols) == 0 {
+		return 0
+	}
+	var sum units.DataSize
+	for _, v := range m.vols {
+		sum += v
+	}
+	return units.DataSize(float64(sum) / float64(len(m.vols)))
+}
+
+// Len returns the number of non-zero directed pairs.
+func (m *DataMatrix) Len() int { return len(m.vols) }
+
+// Each calls fn for every non-zero directed pair. Iteration order is
+// unspecified; callers needing determinism must not depend on it (the
+// embedding accumulates commutative sums, which is safe).
+func (m *DataMatrix) Each(fn func(from, to int, vol units.DataSize)) {
+	for k, v := range m.vols {
+		fn(k[0], k[1], v)
+	}
+}
+
+// TotalBetween sums vol(a->b)+vol(b->a) — the undirected exchange intensity
+// used by graph-partitioning baselines.
+func (m *DataMatrix) TotalBetween(a, b int) units.DataSize {
+	return m.Vol(a, b) + m.Vol(b, a)
+}

@@ -1,0 +1,84 @@
+package correlation
+
+import (
+	"math"
+	"testing"
+
+	"geovmp/internal/units"
+)
+
+func TestDataMatrixMean(t *testing.T) {
+	m := NewDataMatrix()
+	if m.Mean() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	m.Add(1, 2, 10*units.Megabyte)
+	m.Add(2, 3, 30*units.Megabyte)
+	if got := m.Mean(); math.Abs(float64(got-20*units.Megabyte)) > 1 {
+		t.Fatalf("mean = %v, want 20 MB", got)
+	}
+	// Accumulation onto an existing pair changes the mean, not the count.
+	m.Add(1, 2, 20*units.Megabyte)
+	if got := m.Mean(); math.Abs(float64(got-30*units.Megabyte)) > 1 {
+		t.Fatalf("mean after accumulate = %v, want 30 MB", got)
+	}
+}
+
+func TestPeakCoincidenceHalfForPerfectStagger(t *testing.T) {
+	// Identical peaks perfectly staggered approach 1/2 as the baseline
+	// falls: with zero baseline exactly 0.5.
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := PeakCoincidence(a, b); got != 0.5 {
+		t.Fatalf("perfect stagger = %v, want 0.5", got)
+	}
+}
+
+func TestPeakCoincidenceScaleInvariant(t *testing.T) {
+	a := []float64{0.1, 0.8, 0.2}
+	b := []float64{0.3, 0.6, 0.1}
+	c1 := PeakCoincidence(a, b)
+	a2 := make([]float64, len(a))
+	b2 := make([]float64, len(b))
+	for i := range a {
+		a2[i] = a[i] * 3
+		b2[i] = b[i] * 3
+	}
+	c2 := PeakCoincidence(a2, b2)
+	if math.Abs(c1-c2) > 1e-12 {
+		t.Fatalf("not scale invariant: %v vs %v", c1, c2)
+	}
+}
+
+func TestPearsonShiftInvariant(t *testing.T) {
+	a := []float64{1, 2, 3, 2, 1}
+	b := []float64{2, 4, 6, 4, 2}
+	shifted := make([]float64, len(b))
+	for i := range b {
+		shifted[i] = b[i] + 100
+	}
+	if math.Abs(Pearson(a, b)-Pearson(a, shifted)) > 1e-12 {
+		t.Fatal("Pearson not shift invariant")
+	}
+	if math.Abs(Pearson(a, b)-1) > 1e-12 {
+		t.Fatal("linear relation should give r=1")
+	}
+}
+
+func TestProfileSetOwnership(t *testing.T) {
+	ps := NewProfileSet(3)
+	prof := []float64{0.5, 0.6, 0.7}
+	ps.Add(1, prof)
+	// The set retains the slice; mutating it changes the profile (that is
+	// the documented hand-over contract).
+	got := ps.Profile(1)
+	if &got[0] != &prof[0] {
+		t.Fatal("profile should be retained, not copied")
+	}
+}
+
+func TestCombinedPeakSingleProfile(t *testing.T) {
+	if got := CombinedPeak([][]float64{{0.3, 0.9, 0.1}}); got != 0.9 {
+		t.Fatalf("single profile combined peak = %v", got)
+	}
+}

@@ -1,0 +1,414 @@
+// Package embed implements the first step of the paper's global phase: the
+// force-directed 2D embedding of VMs (Sect. IV-B.1, Eqs. 5-7).
+//
+// Every VM is a point in the plane. For each ordered pair, a total force
+//
+//	F_t = alpha*F_a + (1-alpha)*F_r
+//
+// combines the attraction F_a in [-1,0) from data correlation and the
+// repulsion F_r in (0,1] from CPU-load correlation. Per iteration the
+// resultant force on each point is resolved into X/Y components (Eq. 6) and
+// the point is displaced by 1/2*F*t^2. Iteration stops when the alignment
+// cost CostAR_k = sum F_t*(d_k - d_{k-1}) (Eq. 7) drops below its previous
+// value — movement has stopped helping — or when MaxIters is reached. The
+// final layout seeds both the k-means step and the next slot's embedding.
+//
+// Pair force magnitudes depend only on the slot's correlation data, not on
+// positions, so in exact mode (up to Config.ExactThreshold points) they are
+// evaluated once into a dense cache and the iterations are pure float
+// arithmetic. Above the threshold each point's repulsion is estimated from
+// SampleK deterministic random peers per iteration while attraction stays
+// exact over the sparse data pairs; this approximation (documented in
+// DESIGN.md) keeps the paper-scale problem real-time, matching the paper's
+// "low computational overhead" claim.
+package embed
+
+import (
+	"math"
+
+	"geovmp/internal/rng"
+)
+
+// Point is a 2D location.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Field supplies pairwise forces. Implementations are provided by the core
+// controller, which knows the slot's correlation data.
+type Field interface {
+	// Force returns F_t exerted on point `onto` by point `by` (Eq. 5):
+	// negative values attract `onto` toward `by`, positive repel.
+	Force(onto, by int) float64
+	// AttractionPeers returns the ids that exert non-zero attraction on id
+	// (its data-correlated peers). Used to keep sparse attraction exact in
+	// sampled mode; may return nil.
+	AttractionPeers(id int) []int
+}
+
+// Config tunes the embedding.
+type Config struct {
+	TimeStep       float64 // t in Eq. 6 (default 1)
+	MaxIters       int     // iteration cap (default 30)
+	MaxDisplace    float64 // per-iteration displacement clamp (default 4)
+	ExactThreshold int     // max N for exact all-pairs forces (default 512)
+	SampleK        int     // sampled repulsion peers above the threshold (default 96)
+	InitRadius     float64 // scatter radius for points without a position (default 10)
+	// Gravity pulls every point toward the origin with force Gravity x
+	// distance per iteration (default 0.02; negative disables). Eq. 6
+	// alone lets the dense repulsion field expand the cloud without bound
+	// across slots; a weak centering force caps the radius while leaving
+	// relative structure — the quantity k-means consumes — intact.
+	Gravity float64
+	// StopFrac ends the iteration once the alignment cost CostAR (Eq. 7)
+	// falls below this fraction of its peak value (default 0.15; negative
+	// disables, leaving only MaxIters). The paper stops at the first
+	// iteration whose cost is lower than the previous one; with clamped
+	// displacements productivity declines monotonically from iteration
+	// one, so the literal rule would always stop after three iterations —
+	// the fraction-of-peak test preserves the rule's intent ("stop when
+	// movement stops helping") and actually converges.
+	StopFrac float64
+	// RepulsionScale (kappa, default 8; negative disables) normalizes the
+	// dense repulsion field: repulsive pair forces are weighted by
+	// min(1, kappa/(n-1)) so a point's total repulsion stays comparable to
+	// its total attraction at any fleet size. Eq. 6's raw sums are
+	// scale-dependent — with thousands of points the O(n) repulsion sum
+	// drowns the O(degree) attraction and no data-locality structure can
+	// form; at the paper's problem sizes the weight saturates at 1 and the
+	// literal equation is recovered.
+	RepulsionScale float64
+	Seed           uint64 // keys deterministic scatter and sampling
+}
+
+func (c *Config) applyDefaults() {
+	if c.TimeStep == 0 {
+		c.TimeStep = 1
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 30
+	}
+	if c.MaxDisplace == 0 {
+		c.MaxDisplace = 4
+	}
+	if c.ExactThreshold == 0 {
+		c.ExactThreshold = 512
+	}
+	if c.SampleK == 0 {
+		c.SampleK = 96
+	}
+	if c.InitRadius == 0 {
+		c.InitRadius = 10
+	}
+	switch {
+	case c.Gravity == 0:
+		c.Gravity = 0.02
+	case c.Gravity < 0:
+		c.Gravity = 0
+	}
+	if c.RepulsionScale == 0 {
+		c.RepulsionScale = 8
+	}
+	switch {
+	case c.StopFrac == 0:
+		c.StopFrac = 0.15
+	case c.StopFrac < 0:
+		c.StopFrac = 0
+	}
+}
+
+// stopNow evaluates the halting rule given the cost history peak.
+func (c Config) stopNow(iter int, cost, peak float64) bool {
+	return iter >= 2 && c.StopFrac > 0 && peak > 0 && cost < c.StopFrac*peak
+}
+
+// repulsionWeight returns the class weight for repulsive pair forces at
+// fleet size n.
+func (c Config) repulsionWeight(n int) float64 {
+	if c.RepulsionScale < 0 || n <= 1 {
+		return 1
+	}
+	w := c.RepulsionScale / float64(n-1)
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// Result reports the embedding outcome.
+type Result struct {
+	Pos        map[int]Point // final positions for every input id
+	Iterations int           // iterations actually executed
+	Cost       []float64     // CostAR per iteration (Eq. 7)
+}
+
+// InitialPosition returns the deterministic scatter position used for a
+// point with no inherited location: a hash-angle placement on a disc. It is
+// exported so callers can pre-place new VMs consistently.
+func InitialPosition(id int, radius float64, seed uint64) Point {
+	ang := rng.Noise01(seed, uint64(id), 0xA06) * 2 * math.Pi
+	r := math.Sqrt(rng.Noise01(seed, uint64(id), 0xD15)) * radius
+	return Point{X: r * math.Cos(ang), Y: r * math.Sin(ang)}
+}
+
+// Run executes the embedding over ids. init provides inherited positions
+// (the paper carries positions across slots); ids absent from init are
+// scattered deterministically.
+func Run(ids []int, init map[int]Point, field Field, cfg Config) Result {
+	cfg.applyDefaults()
+	n := len(ids)
+	px := make([]float64, n)
+	py := make([]float64, n)
+	idx := make(map[int]int, n)
+	for k, id := range ids {
+		idx[id] = k
+		p, ok := init[id]
+		if !ok {
+			p = InitialPosition(id, cfg.InitRadius, cfg.Seed)
+		}
+		px[k], py[k] = p.X, p.Y
+	}
+	finish := func(iters int, cost []float64) Result {
+		pos := make(map[int]Point, n)
+		for k, id := range ids {
+			pos[id] = Point{X: px[k], Y: py[k]}
+		}
+		return Result{Pos: pos, Iterations: iters, Cost: cost}
+	}
+	if n < 2 {
+		return finish(0, nil)
+	}
+	if n <= cfg.ExactThreshold {
+		iters, cost := runExact(ids, px, py, field, cfg)
+		return finish(iters, cost)
+	}
+	iters, cost := runSampled(ids, idx, px, py, field, cfg)
+	return finish(iters, cost)
+}
+
+// runExact evaluates all ordered pairs with a dense, once-computed force
+// cache.
+func runExact(ids []int, px, py []float64, field Field, cfg Config) (int, []float64) {
+	n := len(ids)
+	ft := make([]float64, n*n) // ft[i*n+j] = force on ids[i] by ids[j]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				ft[i*n+j] = field.Force(ids[i], ids[j])
+			}
+		}
+	}
+	prevD := make([]float64, n*n) // symmetric pair distances, i<j used
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Hypot(px[i]-px[j], py[i]-py[j])
+			prevD[i*n+j] = d
+		}
+	}
+
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	rw := cfg.repulsionWeight(n)
+	weight := func(f float64) float64 {
+		if f > 0 {
+			return f * rw
+		}
+		return f
+	}
+	var costs []float64
+	peak := 0.0
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		for i := range fx {
+			fx[i], fy[i] = 0, 0
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := px[i] - px[j]
+				dy := py[i] - py[j]
+				d := math.Sqrt(dx*dx + dy*dy)
+				if d < 1e-9 {
+					ang := rng.Noise01(cfg.Seed, uint64(i), uint64(j), uint64(iter)) * 2 * math.Pi
+					dx, dy, d = math.Cos(ang), math.Sin(ang), 1
+				}
+				ux, uy := dx/d, dy/d
+				fij := weight(ft[i*n+j]) // on i by j: positive pushes i along (j->i)
+				fji := weight(ft[j*n+i]) // on j by i: positive pushes j along (i->j)
+				fx[i] += fij * ux
+				fy[i] += fij * uy
+				fx[j] -= fji * ux
+				fy[j] -= fji * uy
+			}
+		}
+		displace(px, py, fx, fy, cfg)
+
+		var cost float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := math.Hypot(px[i]-px[j], py[i]-py[j])
+				delta := d - prevD[i*n+j]
+				cost += (ft[i*n+j] + ft[j*n+i]) * delta
+				prevD[i*n+j] = d
+			}
+		}
+		costs = append(costs, cost)
+		iters = iter + 1
+		if cost > peak {
+			peak = cost
+		}
+		if cfg.stopNow(iter, cost, peak) {
+			break
+		}
+	}
+	return iters, costs
+}
+
+// runSampled keeps attraction exact over the sparse data-correlated pairs
+// and estimates repulsion from SampleK hashed peers per point per
+// iteration. The cost function is evaluated over the exact attraction pairs
+// (the stable subset), which preserves the stopping rule's intent.
+func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg Config) (int, []float64) {
+	n := len(ids)
+	type apair struct {
+		i, j int
+		fij  float64 // on i by j
+		fji  float64 // on j by i
+	}
+	var apairs []apair
+	seen := make(map[[2]int]bool)
+	for i, id := range ids {
+		for _, peer := range field.AttractionPeers(id) {
+			j, ok := idx[peer]
+			if !ok || i == j {
+				continue
+			}
+			key := [2]int{min(i, j), max(i, j)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			apairs = append(apairs, apair{
+				i: key[0], j: key[1],
+				fij: field.Force(ids[key[0]], ids[key[1]]),
+				fji: field.Force(ids[key[1]], ids[key[0]]),
+			})
+		}
+	}
+	prevD := make([]float64, len(apairs))
+	for k, p := range apairs {
+		prevD[k] = math.Hypot(px[p.i]-px[p.j], py[p.i]-py[p.j])
+	}
+
+	// Repulsion scale: each point samples SampleK of the n-1 possible
+	// peers; scaling the sampled sum by (n-1)/SampleK estimates the full
+	// Eq. 6 sum, and the repulsion class weight then normalizes it against
+	// the sparse attraction. The two compose to kappa/SampleK.
+	scale := float64(n-1) / float64(cfg.SampleK) * cfg.repulsionWeight(n)
+	rw := cfg.repulsionWeight(n)
+	weight := func(f float64) float64 {
+		if f > 0 {
+			return f * rw
+		}
+		return f
+	}
+
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	var costs []float64
+	peak := 0.0
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		for i := range fx {
+			fx[i], fy[i] = 0, 0
+		}
+		for k := range apairs {
+			p := &apairs[k]
+			dx := px[p.i] - px[p.j]
+			dy := py[p.i] - py[p.j]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d < 1e-9 {
+				ang := rng.Noise01(cfg.Seed, uint64(p.i), uint64(p.j), uint64(iter)) * 2 * math.Pi
+				dx, dy, d = math.Cos(ang), math.Sin(ang), 1
+			}
+			ux, uy := dx/d, dy/d
+			fx[p.i] += weight(p.fij) * ux
+			fy[p.i] += weight(p.fij) * uy
+			fx[p.j] -= weight(p.fji) * ux
+			fy[p.j] -= weight(p.fji) * uy
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < cfg.SampleK; k++ {
+				j := int(rng.Hash(cfg.Seed, uint64(i), uint64(iter), uint64(k)) % uint64(n))
+				if j == i {
+					continue
+				}
+				f := field.Force(ids[i], ids[j])
+				if f <= 0 {
+					continue // attraction handled exactly above
+				}
+				dx := px[i] - px[j]
+				dy := py[i] - py[j]
+				d := math.Sqrt(dx*dx + dy*dy)
+				if d < 1e-9 {
+					ang := rng.Noise01(cfg.Seed, uint64(i), uint64(j), uint64(iter)) * 2 * math.Pi
+					dx, dy, d = math.Cos(ang), math.Sin(ang), 1
+				}
+				fx[i] += f * scale * dx / d
+				fy[i] += f * scale * dy / d
+			}
+		}
+		displace(px, py, fx, fy, cfg)
+
+		var cost float64
+		for k, p := range apairs {
+			d := math.Hypot(px[p.i]-px[p.j], py[p.i]-py[p.j])
+			cost += (p.fij + p.fji) * (d - prevD[k])
+			prevD[k] = d
+		}
+		costs = append(costs, cost)
+		iters = iter + 1
+		if cost > peak {
+			peak = cost
+		}
+		if cfg.stopNow(iter, cost, peak) {
+			break
+		}
+	}
+	return iters, costs
+}
+
+// displace applies Eq. 6's 1/2*F*t^2 step with the per-point clamp and the
+// centering gravity.
+func displace(px, py, fx, fy []float64, cfg Config) {
+	half := 0.5 * cfg.TimeStep * cfg.TimeStep
+	for i := range px {
+		dx := half*fx[i] - cfg.Gravity*px[i]
+		dy := half*fy[i] - cfg.Gravity*py[i]
+		if m := math.Sqrt(dx*dx + dy*dy); m > cfg.MaxDisplace {
+			s := cfg.MaxDisplace / m
+			dx *= s
+			dy *= s
+		}
+		px[i] += dx
+		py[i] += dy
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+// Package green implements the paper's rule-based green controller: the
+// per-DC, every-5-seconds energy source manager that compensates the gap
+// between forecast and reality (Sect. IV-B.3).
+//
+// The rules, verbatim from the paper:
+//
+//   - Renewable surplus: "when the available renewable energy is more than
+//     the DC energy consumption, we use this free energy for the DC and the
+//     excess energy is stored in the battery bank."
+//   - Deficit at high price: "we use the whole renewable energy for the
+//     DC's load and, for the remaining load, we discharge the battery
+//     considering its depth of discharge"; whatever the battery cannot
+//     cover comes from the grid.
+//   - Deficit at low price: "we charge the battery by grid energy and we do
+//     not use it for the DC" — the load runs on renewable plus grid, and
+//     the grid additionally refills the battery for the next peak window.
+package green
+
+import (
+	"geovmp/internal/battery"
+	"geovmp/internal/price"
+	"geovmp/internal/units"
+)
+
+// Controller manages one DC's sources. It owns no goroutines; Step is
+// called synchronously by the simulator.
+type Controller struct {
+	Tariff price.Tariff
+	Bank   *battery.Bank
+}
+
+// Decision reports the energy bookkeeping of one step.
+type Decision struct {
+	Demand        units.Energy // facility energy required this step
+	RenewableUsed units.Energy // renewable energy fed to the load
+	RenewableLost units.Energy // renewable energy neither used nor stored
+	BatteryOut    units.Energy // battery energy fed to the load
+	BatteryIn     units.Energy // AC-side energy routed into the battery (any source)
+	GridToLoad    units.Energy // grid energy fed to the load
+	GridToBattery units.Energy // grid energy used to charge the battery
+	Cost          units.Money  // money paid to the grid this step
+	Peak          bool         // whether the peak tariff applied
+}
+
+// Grid returns the total grid energy drawn this step.
+func (d Decision) Grid() units.Energy { return d.GridToLoad + d.GridToBattery }
+
+// Step advances one control period: demand and renewable are the average
+// facility power and PV output over the step, at is the absolute simulation
+// time (seconds) and dt the step length. The returned Decision satisfies
+// Demand == RenewableUsed + BatteryOut + GridToLoad (energy conservation,
+// tested by property).
+func (c *Controller) Step(demand, renewable units.Power, at, dt float64) Decision {
+	var d Decision
+	d.Peak = c.Tariff.IsPeakAt(at)
+	p := c.Tariff.At(at)
+	d.Demand = demand.ForDuration(dt)
+	renewE := renewable.ForDuration(dt)
+
+	if renewE >= d.Demand {
+		// Surplus: free energy covers everything, excess to the battery.
+		d.RenewableUsed = d.Demand
+		excess := renewE - d.Demand
+		if excess > 0 {
+			stored := c.Bank.Charge(excess.OverSeconds(dt), dt)
+			d.BatteryIn = stored
+			if lost := excess - stored; lost > 0 {
+				d.RenewableLost = lost
+			}
+		}
+		return d
+	}
+
+	// Deficit: all renewable goes to the load.
+	d.RenewableUsed = renewE
+	remaining := d.Demand - renewE
+	if d.Peak {
+		// High price: battery bridges as much of the rest as it can.
+		out := c.Bank.Discharge(remaining.OverSeconds(dt), dt)
+		d.BatteryOut = out
+		remaining -= out
+		if remaining > 0 {
+			d.GridToLoad = remaining
+		}
+	} else {
+		// Low price: grid carries the load and refills the battery.
+		d.GridToLoad = remaining
+		d.GridToBattery = c.Bank.Charge(c.chargePower(), dt)
+		d.BatteryIn = d.GridToBattery
+	}
+	d.Cost = p.Cost(d.Grid())
+	return d
+}
+
+// chargePower is the grid charging rate during low-price periods: the
+// bank's rate limit (Charge clips internally, so offering a large power
+// simply charges as fast as the bank allows).
+func (c *Controller) chargePower() units.Power {
+	return units.Power(1e12)
+}

@@ -1,0 +1,207 @@
+// Package migrate implements Algorithm 2 of the paper: revising the
+// modified k-means output into an executable migration plan under the hard
+// inter-DC migration latency constraint.
+//
+// The k-means target assignment induces, per DC, an outgoing queue (VMs the
+// clustering wants to move away, sorted by descending distance from the
+// DC's centroid — evict the worst-placed first) and an incoming queue (VMs
+// it wants to receive, ascending — admit the best-placed first). The
+// algorithm walks the DCs: an under-cap DC admits from its incoming queue,
+// an over-cap DC evicts from its outgoing queue and the walk follows the
+// evicted VM to its destination. A migration executes only when the VM's
+// image can cross the network within the latency constraint (the paper's
+// QoS 98%: under 2% of the slot), accounting for the budget already
+// consumed on that link pair this slot. VMs that cannot move stay where
+// they were; brand-new VMs take their k-means DC unconditionally ("without
+// the consideration of the network latency constraint").
+package migrate
+
+import (
+	"sort"
+
+	"geovmp/internal/units"
+)
+
+// Candidate is one VM in the revision.
+type Candidate struct {
+	ID      int
+	Current int            // current DC, or -1 for a newly arrived VM
+	Target  int            // DC chosen by the clustering step
+	Load    float64        // predicted slot energy, Joules (cap accounting)
+	Image   units.DataSize // migration image size
+	Dist    float64        // distance to Target's centroid (queue ordering)
+}
+
+// Network abstracts the latency model; satisfied by *network.State.
+type Network interface {
+	// MigrationTime returns the seconds needed to move an image from DC i
+	// to DC j under current link conditions.
+	MigrationTime(i, j int, size units.DataSize) float64
+}
+
+// Config parameterizes the revision.
+type Config struct {
+	NDC        int
+	Caps       []float64 // per-DC energy caps, Joules
+	Loads      []float64 // per-DC load *before* any migration, Joules (VMs currently there)
+	Constraint float64   // latency constraint per link pair, seconds (e.g. 72 = 2% of a slot)
+	Net        Network
+}
+
+// Move records one executed migration.
+type Move struct {
+	ID       int
+	From, To int
+	Image    units.DataSize
+	Seconds  float64
+}
+
+// Result is the plan after revision.
+type Result struct {
+	// Placement maps every candidate id to its final DC.
+	Placement map[int]int
+	Moves     []Move
+	// Rejected counts migration wishes dropped for latency or budget.
+	Rejected int
+	// LinkSeconds[i][j] is the migration time consumed on the i->j pair.
+	LinkSeconds [][]float64
+	// Loads is the per-DC load after the revision.
+	Loads []float64
+}
+
+// queue entries, kept small for cache friendliness.
+type qent struct {
+	id   int
+	dist float64
+}
+
+// Run executes Algorithm 2 over the candidates.
+func Run(cands []Candidate, cfg Config) Result {
+	res := Result{
+		Placement:   make(map[int]int, len(cands)),
+		LinkSeconds: make([][]float64, cfg.NDC),
+	}
+	for i := range res.LinkSeconds {
+		res.LinkSeconds[i] = make([]float64, cfg.NDC)
+	}
+	loads := append([]float64(nil), cfg.Loads...)
+
+	byID := make(map[int]*Candidate, len(cands))
+	qin := make([][]qent, cfg.NDC)  // per destination DC
+	qout := make([][]qent, cfg.NDC) // per source DC
+	for i := range cands {
+		c := &cands[i]
+		byID[c.ID] = c
+		switch {
+		case c.Current < 0:
+			// New VM: placed at its k-means DC without latency checks.
+			res.Placement[c.ID] = c.Target
+			loads[c.Target] += c.Load
+		case c.Target == c.Current:
+			res.Placement[c.ID] = c.Current
+		default:
+			// Wants to move: provisionally stays, queued for revision.
+			res.Placement[c.ID] = c.Current
+			qin[c.Target] = append(qin[c.Target], qent{id: c.ID, dist: c.Dist})
+			qout[c.Current] = append(qout[c.Current], qent{id: c.ID, dist: c.Dist})
+		}
+	}
+	// Qin ascending by distance to the destination centroid (admit best
+	// fits first), Qout descending (evict worst fits first). Ties by id for
+	// determinism.
+	for d := 0; d < cfg.NDC; d++ {
+		in, out := qin[d], qout[d]
+		sort.Slice(in, func(a, b int) bool {
+			if in[a].dist != in[b].dist {
+				return in[a].dist < in[b].dist
+			}
+			return in[a].id < in[b].id
+		})
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].dist != out[b].dist {
+				return out[a].dist > out[b].dist
+			}
+			return out[a].id < out[b].id
+		})
+	}
+
+	dropped := make(map[int]bool) // ids erased from queues
+	pop := func(q []qent) (int, []qent) {
+		for len(q) > 0 {
+			head := q[0]
+			q = q[1:]
+			if !dropped[head.id] {
+				return head.id, q
+			}
+		}
+		return -1, q
+	}
+	empty := func() bool {
+		for d := 0; d < cfg.NDC; d++ {
+			for _, e := range qin[d] {
+				if !dropped[e.id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// feasible checks the latency constraint for moving c from->to, given
+	// the budget already burned on that link pair.
+	feasible := func(c *Candidate, from, to int) (float64, bool) {
+		t := cfg.Net.MigrationTime(from, to, c.Image)
+		if res.LinkSeconds[from][to]+t < cfg.Constraint {
+			return t, true
+		}
+		return t, false
+	}
+	execute := func(c *Candidate, from, to int, t float64) {
+		res.Placement[c.ID] = to
+		res.Moves = append(res.Moves, Move{ID: c.ID, From: from, To: to, Image: c.Image, Seconds: t})
+		res.LinkSeconds[from][to] += t
+		loads[from] -= c.Load
+		loads[to] += c.Load
+	}
+
+	// Main walk. A safety bound of 4x the queue population guards against
+	// cycling in degenerate configurations (it is never hit in tests).
+	i := 0
+	maxSteps := 4 * (len(cands) + cfg.NDC)
+	for step := 0; step < maxSteps && !empty(); step++ {
+		if loads[i] < cfg.Caps[i] {
+			var id int
+			id, qin[i] = pop(qin[i])
+			if id < 0 {
+				i = (i + 1) % cfg.NDC
+				continue
+			}
+			c := byID[id]
+			from := c.Current
+			if t, ok := feasible(c, from, i); ok {
+				execute(c, from, i, t)
+			} else {
+				res.Rejected++
+			}
+			dropped[id] = true
+		} else {
+			var id int
+			id, qout[i] = pop(qout[i])
+			if id < 0 {
+				i = (i + 1) % cfg.NDC
+				continue
+			}
+			c := byID[id]
+			to := c.Target
+			if t, ok := feasible(c, i, to); ok {
+				execute(c, i, to, t)
+				dropped[id] = true
+				i = to // follow the evicted VM, per Algorithm 2 line 20
+			} else {
+				res.Rejected++
+				dropped[id] = true
+			}
+		}
+	}
+	res.Loads = loads
+	return res
+}

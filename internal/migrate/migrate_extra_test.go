@@ -1,0 +1,111 @@
+package migrate
+
+import (
+	"testing"
+
+	"geovmp/internal/units"
+)
+
+func TestWalkFollowsEvictedVM(t *testing.T) {
+	// Algorithm 2 line 20: after an over-cap DC evicts a VM, the walk moves
+	// to the destination DC. Construct: DC0 over cap evicts to DC1; DC1 is
+	// then over cap too and must evict to DC2 *before* the round-robin
+	// would naturally reach it.
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 6, Image: 2 * units.Gigabyte, Dist: 5},
+		{ID: 2, Current: 1, Target: 2, Load: 6, Image: 2 * units.Gigabyte, Dist: 5},
+	}
+	res := Run(cands, Config{
+		NDC:        3,
+		Caps:       []float64{5, 5, 20},
+		Loads:      []float64{6, 6, 0},
+		Constraint: 720,
+		Net:        fakeNet{secPerGB: 1},
+	})
+	if len(res.Moves) != 2 {
+		t.Fatalf("moves = %d, want the chained evictions", len(res.Moves))
+	}
+	if res.Moves[0].ID != 1 || res.Moves[1].ID != 2 {
+		t.Fatalf("eviction chain order wrong: %+v", res.Moves)
+	}
+	if res.Placement[1] != 1 || res.Placement[2] != 2 {
+		t.Fatalf("placements %v", res.Placement)
+	}
+}
+
+func TestRejectedEvictionStaysAndQueueAdvances(t *testing.T) {
+	// An infeasible eviction is erased (lines 21-23) and the next candidate
+	// is considered.
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 4, Image: 8 * units.Gigabyte, Dist: 9}, // too big to move
+		{ID: 2, Current: 0, Target: 1, Load: 4, Image: 2 * units.Gigabyte, Dist: 2},
+	}
+	// 8 GB at 30 s/GB = 240 s > 72; 2 GB = 60 s < 72.
+	res := Run(cands, Config{
+		NDC:        3,
+		Caps:       []float64{5, 20, 20},
+		Loads:      []float64{8, 0, 0},
+		Constraint: 72,
+		Net:        fakeNet{secPerGB: 30},
+	})
+	if res.Placement[1] != 0 {
+		t.Fatal("infeasible eviction moved")
+	}
+	if res.Placement[2] != 1 {
+		t.Fatal("feasible follow-up not executed")
+	}
+	if res.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", res.Rejected)
+	}
+}
+
+func TestZeroLoadCandidates(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 0, Image: 2 * units.Gigabyte, Dist: 1},
+	}
+	res := Run(cands, cfg3([]float64{1, 1, 1}, []float64{0, 0, 0}, 72, fakeNet{secPerGB: 1}))
+	if _, ok := res.Placement[1]; !ok {
+		t.Fatal("zero-load candidate lost")
+	}
+}
+
+func TestManyDCs(t *testing.T) {
+	// The walk must terminate and place everyone with 6 DCs.
+	var cands []Candidate
+	for i := 0; i < 60; i++ {
+		cands = append(cands, Candidate{
+			ID: i, Current: i % 6, Target: (i + 3) % 6, Load: 1,
+			Image: 2 * units.Gigabyte, Dist: float64(i % 7),
+		})
+	}
+	loads := make([]float64, 6)
+	caps := make([]float64, 6)
+	for i := range caps {
+		caps[i] = 12
+	}
+	for _, c := range cands {
+		loads[c.Current] += c.Load
+	}
+	res := Run(cands, Config{NDC: 6, Caps: caps, Loads: loads, Constraint: 72, Net: fakeNet{secPerGB: 1}})
+	if len(res.Placement) != 60 {
+		t.Fatalf("placed %d of 60", len(res.Placement))
+	}
+}
+
+func TestLinkSecondsMatchesMoves(t *testing.T) {
+	var cands []Candidate
+	for i := 0; i < 10; i++ {
+		cands = append(cands, Candidate{
+			ID: i, Current: 0, Target: 1, Load: 1,
+			Image: 2 * units.Gigabyte, Dist: float64(i),
+		})
+	}
+	res := Run(cands, cfg3([]float64{100, 100, 100}, []float64{10, 0, 0}, 72, fakeNet{secPerGB: 5}))
+	var total float64
+	for _, m := range res.Moves {
+		total += m.Seconds
+	}
+	if total != res.LinkSeconds[0][1] {
+		t.Fatalf("link accounting %v != move sum %v", res.LinkSeconds[0][1], total)
+	}
+}

@@ -1,0 +1,248 @@
+package migrate
+
+import (
+	"testing"
+
+	"geovmp/internal/units"
+)
+
+// fakeNet returns a constant migration time per GB.
+type fakeNet struct {
+	secPerGB float64
+}
+
+func (f fakeNet) MigrationTime(i, j int, size units.DataSize) float64 {
+	if i == j {
+		return 0
+	}
+	return f.secPerGB * size.GB()
+}
+
+func cfg3(caps, loads []float64, constraint float64, net Network) Config {
+	return Config{NDC: 3, Caps: caps, Loads: loads, Constraint: constraint, Net: net}
+}
+
+func TestNewVMsPlacedWithoutLatencyCheck(t *testing.T) {
+	// Even with a zero constraint, new VMs (Current = -1) land on their
+	// k-means target.
+	cands := []Candidate{
+		{ID: 1, Current: -1, Target: 2, Load: 5, Image: 8 * units.Gigabyte},
+	}
+	res := Run(cands, cfg3([]float64{10, 10, 10}, []float64{0, 0, 0}, 0, fakeNet{secPerGB: 100}))
+	if res.Placement[1] != 2 {
+		t.Fatalf("new VM placed at %d, want 2", res.Placement[1])
+	}
+	if len(res.Moves) != 0 {
+		t.Fatal("new VM placement must not count as a migration")
+	}
+	if res.Loads[2] != 5 {
+		t.Fatalf("target load = %v, want 5", res.Loads[2])
+	}
+}
+
+func TestStayingVMsUntouched(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 0, Load: 3},
+		{ID: 2, Current: 1, Target: 1, Load: 4},
+	}
+	res := Run(cands, cfg3([]float64{10, 10, 10}, []float64{3, 4, 0}, 72, fakeNet{secPerGB: 1}))
+	if res.Placement[1] != 0 || res.Placement[2] != 1 {
+		t.Fatalf("placements %v", res.Placement)
+	}
+	if len(res.Moves) != 0 {
+		t.Fatal("unexpected migrations")
+	}
+}
+
+func TestFeasibleMigrationExecutes(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 5, Image: 2 * units.Gigabyte, Dist: 1},
+	}
+	// 2 GB at 1 s/GB = 2 s < 72 s constraint.
+	res := Run(cands, cfg3([]float64{10, 10, 10}, []float64{5, 0, 0}, 72, fakeNet{secPerGB: 1}))
+	if res.Placement[1] != 1 {
+		t.Fatalf("placement %d, want 1", res.Placement[1])
+	}
+	if len(res.Moves) != 1 {
+		t.Fatalf("moves %v", res.Moves)
+	}
+	m := res.Moves[0]
+	if m.From != 0 || m.To != 1 || m.Seconds != 2 {
+		t.Fatalf("move %+v", m)
+	}
+	if res.Loads[0] != 0 || res.Loads[1] != 5 {
+		t.Fatalf("loads %v", res.Loads)
+	}
+}
+
+func TestInfeasibleMigrationStays(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 5, Image: 8 * units.Gigabyte, Dist: 1},
+	}
+	// 8 GB at 100 s/GB = 800 s > 72 s: rejected, VM stays.
+	res := Run(cands, cfg3([]float64{10, 10, 10}, []float64{5, 0, 0}, 72, fakeNet{secPerGB: 100}))
+	if res.Placement[1] != 0 {
+		t.Fatalf("placement %d, want to stay at 0", res.Placement[1])
+	}
+	if res.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", res.Rejected)
+	}
+	if len(res.Moves) != 0 {
+		t.Fatal("infeasible move executed")
+	}
+}
+
+func TestLinkBudgetExhausts(t *testing.T) {
+	// Ten 2 GB VMs over a 10 s/GB network: each takes 20 s; a 72 s budget
+	// fits only 3 on the 0->1 pair.
+	var cands []Candidate
+	for i := 0; i < 10; i++ {
+		cands = append(cands, Candidate{
+			ID: i, Current: 0, Target: 1, Load: 1,
+			Image: 2 * units.Gigabyte, Dist: float64(i),
+		})
+	}
+	res := Run(cands, cfg3([]float64{100, 100, 100}, []float64{10, 0, 0}, 72, fakeNet{secPerGB: 10}))
+	if len(res.Moves) != 3 {
+		t.Fatalf("executed %d migrations, want 3 within the 72 s budget", len(res.Moves))
+	}
+	if res.LinkSeconds[0][1] > 72 {
+		t.Fatalf("link budget exceeded: %v", res.LinkSeconds[0][1])
+	}
+	moved := 0
+	for _, c := range cands {
+		if res.Placement[c.ID] == 1 {
+			moved++
+		}
+	}
+	if moved != 3 {
+		t.Fatalf("placements show %d moved", moved)
+	}
+}
+
+func TestUnderCapDCAdmitsClosestFirst(t *testing.T) {
+	// DC1 under cap; two candidates want in, the closer (smaller Dist) must
+	// be admitted first and consume budget first.
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 1, Image: 2 * units.Gigabyte, Dist: 5},
+		{ID: 2, Current: 0, Target: 1, Load: 1, Image: 2 * units.Gigabyte, Dist: 1},
+	}
+	// Budget allows exactly one 2 GB move at 30 s/GB (60 s < 72, 120 > 72).
+	res := Run(cands, cfg3([]float64{10, 10, 10}, []float64{2, 0, 0}, 72, fakeNet{secPerGB: 30}))
+	if len(res.Moves) != 1 {
+		t.Fatalf("moves = %d, want 1", len(res.Moves))
+	}
+	if res.Moves[0].ID != 2 {
+		t.Fatalf("moved %d first, want the closer candidate 2", res.Moves[0].ID)
+	}
+	if res.Placement[1] != 0 || res.Placement[2] != 1 {
+		t.Fatalf("placements %v", res.Placement)
+	}
+}
+
+func TestOverCapDCEvictsFarthestFirst(t *testing.T) {
+	// DC0 over cap: eviction must pick the candidate farthest from DC0's
+	// own placement preference (largest Dist first in Qout ordering).
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 4, Image: 2 * units.Gigabyte, Dist: 9},
+		{ID: 2, Current: 0, Target: 1, Load: 4, Image: 2 * units.Gigabyte, Dist: 2},
+	}
+	// DC0 load 8 > cap 5: must evict; after one eviction load 4 < 5 stops.
+	res := Run(cands, cfg3([]float64{5, 20, 20}, []float64{8, 0, 0}, 720, fakeNet{secPerGB: 1}))
+	if len(res.Moves) == 0 {
+		t.Fatal("no eviction happened")
+	}
+	if res.Moves[0].ID != 1 {
+		t.Fatalf("evicted %d first, want farthest candidate 1", res.Moves[0].ID)
+	}
+}
+
+func TestEveryCandidateGetsPlacement(t *testing.T) {
+	var cands []Candidate
+	for i := 0; i < 40; i++ {
+		cur := i % 3
+		if i%7 == 0 {
+			cur = -1
+		}
+		cands = append(cands, Candidate{
+			ID: i, Current: cur, Target: (i + 1) % 3, Load: 1,
+			Image: 4 * units.Gigabyte, Dist: float64(i % 11),
+		})
+	}
+	res := Run(cands, cfg3([]float64{15, 15, 15}, []float64{12, 14, 9}, 72, fakeNet{secPerGB: 2}))
+	for _, c := range cands {
+		dc, ok := res.Placement[c.ID]
+		if !ok {
+			t.Fatalf("candidate %d missing placement", c.ID)
+		}
+		if dc < 0 || dc >= 3 {
+			t.Fatalf("candidate %d at invalid DC %d", c.ID, dc)
+		}
+		if c.Current >= 0 && dc != c.Current && dc != c.Target {
+			t.Fatalf("candidate %d at %d, neither current %d nor target %d", c.ID, dc, c.Current, c.Target)
+		}
+	}
+}
+
+func TestLoadConservation(t *testing.T) {
+	var cands []Candidate
+	var total float64
+	for i := 0; i < 25; i++ {
+		load := float64(1 + i%4)
+		cur := i % 3
+		if i%9 == 0 {
+			cur = -1
+		}
+		total += load
+		cands = append(cands, Candidate{
+			ID: i, Current: cur, Target: (i + 2) % 3, Load: load,
+			Image: 2 * units.Gigabyte, Dist: float64(i),
+		})
+	}
+	loads := []float64{0, 0, 0}
+	for _, c := range cands {
+		if c.Current >= 0 {
+			loads[c.Current] += c.Load
+		}
+	}
+	res := Run(cands, cfg3([]float64{20, 20, 20}, loads, 72, fakeNet{secPerGB: 1}))
+	var after float64
+	for _, l := range res.Loads {
+		after += l
+	}
+	if diff := after - total; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("load not conserved: %v vs %v", after, total)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	build := func() []Candidate {
+		var cands []Candidate
+		for i := 0; i < 30; i++ {
+			cands = append(cands, Candidate{
+				ID: i, Current: i % 3, Target: (i + 1) % 3, Load: float64(i%5) + 1,
+				Image: 4 * units.Gigabyte, Dist: float64((i * 7) % 13),
+			})
+		}
+		return cands
+	}
+	run := func() Result {
+		return Run(build(), cfg3([]float64{25, 25, 25}, []float64{30, 35, 25}, 72, fakeNet{secPerGB: 3}))
+	}
+	a, b := run(), run()
+	if len(a.Moves) != len(b.Moves) {
+		t.Fatal("move counts diverged")
+	}
+	for id, dc := range a.Placement {
+		if b.Placement[id] != dc {
+			t.Fatalf("placement of %d diverged", id)
+		}
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	res := Run(nil, cfg3([]float64{1, 1, 1}, []float64{0, 0, 0}, 72, fakeNet{}))
+	if len(res.Placement) != 0 || len(res.Moves) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}

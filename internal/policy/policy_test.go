@@ -1,0 +1,345 @@
+package policy
+
+import (
+	"testing"
+
+	"geovmp/internal/battery"
+	"geovmp/internal/cooling"
+	"geovmp/internal/correlation"
+	"geovmp/internal/dc"
+	"geovmp/internal/green"
+	"geovmp/internal/network"
+	"geovmp/internal/power"
+	"geovmp/internal/price"
+	"geovmp/internal/rng"
+	"geovmp/internal/solar"
+	"geovmp/internal/units"
+)
+
+// testFleet builds a 3-DC fleet with the given server counts.
+func testFleet(t *testing.T, servers ...int) dc.Fleet {
+	t.Helper()
+	climates := []cooling.Climate{cooling.Lisbon(), cooling.Zurich(), cooling.Helsinki()}
+	plants := []solar.Plant{solar.LisbonPlant(), solar.ZurichPlant(), solar.HelsinkiPlant()}
+	tariffs := []price.Tariff{price.LisbonTariff(), price.ZurichTariff(), price.HelsinkiTariff()}
+	fleet := make(dc.Fleet, len(servers))
+	for i, n := range servers {
+		bank, err := battery.New(battery.Config{Capacity: 50 * units.KilowattHour, DoD: 0.5, InitialSoC: 0.75})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet[i] = &dc.DC{
+			Index: i, Name: tariffs[i].Name, Servers: n,
+			Model:   power.E5410(),
+			Cooling: cooling.Site{Climate: climates[i], Model: cooling.DefaultPUE()},
+			Plant:   plants[i], Bank: bank, Tariff: tariffs[i],
+			Forecast: &solar.LastValue{},
+			Green:    &green.Controller{Tariff: tariffs[i], Bank: bank},
+		}
+	}
+	return fleet
+}
+
+// inputOpts tweaks buildInput.
+type inputOpts struct {
+	nVMs    int
+	current map[int]int
+	prices  []units.Price
+	volumes func(dm *correlation.DataMatrix)
+	peak    func(id int) float64
+}
+
+// buildInput constructs a deterministic Input over a tiny fleet.
+func buildInput(t *testing.T, opts inputOpts) *Input {
+	t.Helper()
+	fleet := testFleet(t, 8, 6, 4)
+	n := len(fleet)
+	ps := correlation.NewProfileSet(4)
+	vmEnergy := make(map[int]float64)
+	image := make(map[int]units.DataSize)
+	ids := make([]int, opts.nVMs)
+	for id := 0; id < opts.nVMs; id++ {
+		ids[id] = id
+		pk := 0.8
+		if opts.peak != nil {
+			pk = opts.peak(id)
+		}
+		ps.Add(id, []float64{pk, pk / 2, pk / 4, pk / 2})
+		vmEnergy[id] = 1000
+		image[id] = 2 * units.Gigabyte
+	}
+	dm := correlation.NewDataMatrix()
+	if opts.volumes != nil {
+		opts.volumes(dm)
+	}
+	prices := opts.prices
+	if prices == nil {
+		prices = []units.Price{0.20, 0.25, 0.15}
+	}
+	cur := opts.current
+	if cur == nil {
+		cur = map[int]int{}
+	}
+	in := &Input{
+		Slot:          2,
+		ActiveVMs:     ids,
+		Current:       cur,
+		Profiles:      ps,
+		Volumes:       dm,
+		VMEnergy:      vmEnergy,
+		Image:         image,
+		DCs:           fleet,
+		Prices:        prices,
+		RenewForecast: make([]units.Energy, n),
+		BatteryAvail:  make([]units.Energy, n),
+		LastEnergy:    make([]units.Energy, n),
+		Net:           network.NewState(network.PaperTopology(), rng.New(1)),
+		Constraint:    72,
+	}
+	return in
+}
+
+func assertCovers(t *testing.T, p Placement, in *Input) {
+	t.Helper()
+	for _, id := range in.ActiveVMs {
+		d, ok := p.DCOf[id]
+		if !ok {
+			t.Fatalf("VM %d unplaced", id)
+		}
+		if d < 0 || d >= len(in.DCs) {
+			t.Fatalf("VM %d at invalid DC %d", id, d)
+		}
+	}
+}
+
+// --- Ener-aware ---
+
+func TestEnerAwareFillsFirstDCFirst(t *testing.T) {
+	in := buildInput(t, inputOpts{nVMs: 10})
+	p := EnerAware{}.Place(in)
+	assertCovers(t, p, in)
+	// 10 VMs with peak 0.8 trivially fit DC0 (8 servers x 8 cores).
+	for _, id := range in.ActiveVMs {
+		if p.DCOf[id] != 0 {
+			t.Fatalf("VM %d placed at %d, want first DC", id, p.DCOf[id])
+		}
+	}
+	if len(p.Moves) != 0 {
+		t.Fatal("new placements are not migrations")
+	}
+}
+
+func TestEnerAwareSpillsWhenFirstDCFull(t *testing.T) {
+	// Peaks of 8.0 fill one server each: DC0 (8 servers at 0.9 fill = 57.6
+	// core budget) holds 7 such VMs; more must spill.
+	in := buildInput(t, inputOpts{nVMs: 12, peak: func(int) float64 { return 8 }})
+	p := EnerAware{}.Place(in)
+	assertCovers(t, p, in)
+	counts := map[int]int{}
+	for _, d := range p.DCOf {
+		counts[d]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("no spill to second DC: %v", counts)
+	}
+}
+
+func TestEnerAwareExistingVMsNeverMove(t *testing.T) {
+	in := buildInput(t, inputOpts{
+		nVMs:    6,
+		current: map[int]int{0: 2, 1: 1, 2: 2},
+	})
+	p := EnerAware{}.Place(in)
+	assertCovers(t, p, in)
+	if p.DCOf[0] != 2 || p.DCOf[1] != 1 || p.DCOf[2] != 2 {
+		t.Fatalf("existing VMs moved: %v", p.DCOf)
+	}
+	if len(p.Moves) != 0 {
+		t.Fatal("Ener-aware migrated")
+	}
+}
+
+// --- Pri-aware ---
+
+func TestPriAwarePrefersCheapestDC(t *testing.T) {
+	// DC2 is cheapest by construction (0.15).
+	in := buildInput(t, inputOpts{nVMs: 4})
+	p := PriAware{}.Place(in)
+	assertCovers(t, p, in)
+	for _, id := range in.ActiveVMs {
+		if p.DCOf[id] != 2 {
+			t.Fatalf("VM %d at %d, want cheapest DC 2", id, p.DCOf[id])
+		}
+	}
+}
+
+func TestPriAwareSpillsToNextCheapest(t *testing.T) {
+	// DC2 has 4 servers x 8 cores x 0.9 = 28.8 core budget; peaks of 8 fill
+	// it with 3 VMs, the rest go to the next cheapest (DC0 at 0.20).
+	in := buildInput(t, inputOpts{nVMs: 8, peak: func(int) float64 { return 8 }})
+	p := PriAware{}.Place(in)
+	assertCovers(t, p, in)
+	counts := map[int]int{}
+	for _, d := range p.DCOf {
+		counts[d]++
+	}
+	if counts[2] != 3 {
+		t.Fatalf("cheapest DC holds %d, want 3", counts[2])
+	}
+	if counts[0] != 5 {
+		t.Fatalf("next cheapest holds %d, want 5", counts[0])
+	}
+}
+
+func TestPriAwareMigrationsRespectBudget(t *testing.T) {
+	// All VMs sit at DC0; the cheap DC2 attracts them. With a tiny latency
+	// budget nothing may move.
+	cur := map[int]int{}
+	for i := 0; i < 6; i++ {
+		cur[i] = 0
+	}
+	in := buildInput(t, inputOpts{nVMs: 6, current: cur})
+	in.Constraint = 0.001
+	p := PriAware{}.Place(in)
+	assertCovers(t, p, in)
+	if len(p.Moves) != 0 {
+		t.Fatalf("moves executed past the budget: %v", p.Moves)
+	}
+	if p.Rejected != 6 {
+		t.Fatalf("rejected = %d, want 6", p.Rejected)
+	}
+	for i := 0; i < 6; i++ {
+		if p.DCOf[i] != 0 {
+			t.Fatal("VM moved despite infeasible migration")
+		}
+	}
+}
+
+func TestPriAwareMigratesWhenFeasible(t *testing.T) {
+	cur := map[int]int{0: 0, 1: 0}
+	in := buildInput(t, inputOpts{nVMs: 2, current: cur})
+	p := PriAware{}.Place(in)
+	assertCovers(t, p, in)
+	if len(p.Moves) != 2 {
+		t.Fatalf("moves = %d, want 2 toward the cheap DC", len(p.Moves))
+	}
+	for _, m := range p.Moves {
+		if m.To != 2 || m.From != 0 {
+			t.Fatalf("unexpected move %+v", m)
+		}
+		if m.Seconds <= 0 || m.Seconds >= 72 {
+			t.Fatalf("implausible migration time %v", m.Seconds)
+		}
+	}
+}
+
+// --- Net-aware ---
+
+func TestNetAwareColocatesCommunicatingPairs(t *testing.T) {
+	in := buildInput(t, inputOpts{
+		nVMs: 8,
+		volumes: func(dm *correlation.DataMatrix) {
+			// Two chatty groups: {0,1,2} and {3,4}.
+			dm.Add(0, 1, 500*units.Megabyte)
+			dm.Add(1, 2, 400*units.Megabyte)
+			dm.Add(2, 0, 450*units.Megabyte)
+			dm.Add(3, 4, 600*units.Megabyte)
+			dm.Add(4, 3, 550*units.Megabyte)
+		},
+	})
+	p := NetAware{}.Place(in)
+	assertCovers(t, p, in)
+	if !(p.DCOf[0] == p.DCOf[1] && p.DCOf[1] == p.DCOf[2]) {
+		t.Fatalf("group A split: %d %d %d", p.DCOf[0], p.DCOf[1], p.DCOf[2])
+	}
+	if p.DCOf[3] != p.DCOf[4] {
+		t.Fatalf("group B split: %d %d", p.DCOf[3], p.DCOf[4])
+	}
+}
+
+func TestNetAwareBalancesLoad(t *testing.T) {
+	// 30 mutually silent VMs: balance should spread them roughly by
+	// capacity (8:6:4).
+	in := buildInput(t, inputOpts{nVMs: 30})
+	p := NetAware{}.Place(in)
+	assertCovers(t, p, in)
+	counts := map[int]int{}
+	for _, d := range p.DCOf {
+		counts[d]++
+	}
+	for d := 0; d < 3; d++ {
+		if counts[d] == 0 {
+			t.Fatalf("DC %d unused by balancing placement: %v", d, counts)
+		}
+	}
+	if counts[0] < counts[2] {
+		t.Fatalf("bigger DC got less load: %v", counts)
+	}
+}
+
+func TestNetAwareStayBonus(t *testing.T) {
+	// A lone silent VM with no traffic: the stay bonus must keep it home.
+	in := buildInput(t, inputOpts{nVMs: 1, current: map[int]int{0: 1}})
+	p := NetAware{}.Place(in)
+	if p.DCOf[0] != 1 {
+		t.Fatalf("silent VM moved from its home DC: %d", p.DCOf[0])
+	}
+	if len(p.Moves) != 0 {
+		t.Fatal("gratuitous migration")
+	}
+}
+
+// --- shared ---
+
+func TestAllocatorsMatchPolicyClass(t *testing.T) {
+	fleet := testFleet(t, 4, 4, 4)
+	ps := correlation.NewProfileSet(4)
+	// Anti-correlated 6-core pair: corr-aware packs on one server, plain on
+	// two.
+	ps.Add(0, []float64{6, 1, 6, 1})
+	ps.Add(1, []float64{1, 6, 1, 6})
+	ids := []int{0, 1}
+	for _, tt := range []struct {
+		pol        Policy
+		wantActive int
+	}{
+		{EnerAware{}, 1},
+		{PriAware{}, 2},
+		{NetAware{}, 2},
+	} {
+		res := tt.pol.Allocate(fleet[0], ids, ps)
+		if res.Active != tt.wantActive {
+			t.Errorf("%s: active = %d, want %d", tt.pol.Name(), res.Active, tt.wantActive)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (EnerAware{}).Name() != "Ener-aware" ||
+		(PriAware{}).Name() != "Pri-aware" ||
+		(NetAware{}).Name() != "Net-aware" {
+		t.Fatal("policy names drifted; reports key on them")
+	}
+}
+
+func TestPoliciesDeterministic(t *testing.T) {
+	for _, pol := range []Policy{EnerAware{}, PriAware{}, NetAware{}} {
+		mk := func() Placement {
+			in := buildInput(t, inputOpts{
+				nVMs:    20,
+				current: map[int]int{3: 1, 4: 2, 5: 0},
+				volumes: func(dm *correlation.DataMatrix) {
+					dm.Add(0, 1, 100*units.Megabyte)
+					dm.Add(5, 6, 300*units.Megabyte)
+				},
+			})
+			return pol.Place(in)
+		}
+		a, b := mk(), mk()
+		for id, d := range a.DCOf {
+			if b.DCOf[id] != d {
+				t.Fatalf("%s: placement of %d diverged", pol.Name(), id)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"geovmp/internal/metrics"
+	"geovmp/internal/sim"
+	"geovmp/internal/viz"
+)
+
+// SaveSVGs writes browser-viewable SVG renderings of Figures 1, 2, 3, 5 and
+// 6 under dir (fig1.svg etc.). Fig. 4 and Table I are tabular and stay
+// text/CSV only.
+func SaveSVGs(dir string, results []*sim.Result) error {
+	// Fig. 1: normalized operational cost bars.
+	costs := map[string]float64{}
+	for _, r := range results {
+		costs[r.Policy] = float64(r.OpCost)
+	}
+	norm := metrics.NormalizeByWorst(costs)
+	var labels []string
+	var values []float64
+	for _, r := range results {
+		labels = append(labels, r.Policy)
+		values = append(values, norm[r.Policy])
+	}
+	if err := viz.Save(dir, "fig1",
+		viz.BarChart("Fig. 1 — Normalized operational cost (one week)", "normalized cost", labels, values)); err != nil {
+		return err
+	}
+
+	// Fig. 2: hourly energy line chart.
+	series := make([]*metrics.Series, len(results))
+	for i, r := range results {
+		s := r.EnergySeries
+		s.Name = r.Policy
+		series[i] = &s
+	}
+	if err := viz.Save(dir, "fig2",
+		viz.LineChart("Fig. 2 — Energy consumed by DCs", "slot (h)", "GJ per slot", series...)); err != nil {
+		return err
+	}
+
+	// Fig. 3: response-time PDF step curves, normalized by the worst case.
+	var worst float64
+	for _, r := range results {
+		if w := r.RespSummary.Max(); w > worst {
+			worst = w
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+	const bins = 20
+	var names []string
+	var curves [][]float64
+	for _, r := range results {
+		h := metrics.NewHistogram(0, 1.0000001, bins)
+		for _, v := range r.RespSamples {
+			h.Add(v / worst)
+		}
+		_, probs := h.PDF()
+		names = append(names, r.Policy)
+		curves = append(curves, probs)
+	}
+	if err := viz.Save(dir, "fig3",
+		viz.Histogram("Fig. 3 — Normalized response time distribution", "normalized response time", names, curves)); err != nil {
+		return err
+	}
+
+	// Figs. 5 and 6: trade-off scatters.
+	resp := map[string]float64{}
+	energy := map[string]float64{}
+	for _, r := range results {
+		resp[r.Policy] = r.RespSummary.Max()
+		energy[r.Policy] = r.TotalEnergy.GJ()
+	}
+	nResp := metrics.NormalizeByWorst(resp)
+	nEnergy := metrics.NormalizeByWorst(energy)
+	var costPts, energyPts []viz.ScatterPoint
+	for _, r := range results {
+		costPts = append(costPts, viz.ScatterPoint{X: norm[r.Policy], Y: nResp[r.Policy], Label: r.Policy})
+		energyPts = append(energyPts, viz.ScatterPoint{X: nEnergy[r.Policy], Y: nResp[r.Policy], Label: r.Policy})
+	}
+	if err := viz.Save(dir, "fig5",
+		viz.Scatter("Fig. 5 — Cost-performance trade-off", "normalized cost", "normalized worst response", costPts)); err != nil {
+		return err
+	}
+	return viz.Save(dir, "fig6",
+		viz.Scatter("Fig. 6 — Energy-performance trade-off", "normalized energy", "normalized worst response", energyPts))
+}

@@ -1,0 +1,415 @@
+// Package sim is the discrete-time simulator that evaluates a placement
+// policy over the experiment horizon, reproducing the paper's measurement
+// loop (Sect. V):
+//
+//   - once per hour slot, the global controller re-places the fleet's VMs
+//     and the local controllers pack each DC's servers;
+//   - every fine step (5 s in the paper), server utilizations are sampled,
+//     IT power is scaled by the site's instantaneous PUE, and the green
+//     controller splits the facility demand across renewable, battery and
+//     grid, accruing operational cost at the current tariff;
+//   - per slot, the actual inter-VM volumes are aggregated per DC pair
+//     (plus migration images) and the worst-case destination latency of
+//     Eq. 1 becomes the slot's response-time sample per DC.
+//
+// The same workload, network conditions and green controllers are replayed
+// for every policy (all randomness is seed-derived), so metric differences
+// are attributable to placement alone — the paper's comparison setup.
+package sim
+
+import (
+	"fmt"
+
+	"geovmp/internal/alloc"
+	"geovmp/internal/correlation"
+	"geovmp/internal/dc"
+	"geovmp/internal/metrics"
+	"geovmp/internal/network"
+	"geovmp/internal/policy"
+	"geovmp/internal/rng"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
+	"geovmp/internal/units"
+)
+
+// Scenario bundles everything a run needs. Build one per policy run (DC
+// battery state and forecaster history are mutable).
+type Scenario struct {
+	Name           string
+	Fleet          dc.Fleet
+	Workload       trace.Source
+	Topo           *network.Topology
+	Horizon        timeutil.Horizon
+	Seed           uint64
+	QoS            float64 // migration QoS guarantee (default 0.98)
+	ProfileSamples int     // per-slot downsampled profile length (default 12)
+	FineStepSec    float64 // green-controller step (default 5, the paper's)
+	// WarmupSlots are simulated but excluded from every metric: the first
+	// slots of a cold-started fleet are placement transients no real
+	// week-long deployment would exhibit (default 6, capped at half the
+	// horizon; negative disables).
+	WarmupSlots int
+}
+
+func (sc *Scenario) applyDefaults() {
+	if sc.QoS == 0 {
+		sc.QoS = 0.98
+	}
+	if sc.ProfileSamples == 0 {
+		sc.ProfileSamples = 12
+	}
+	if sc.FineStepSec == 0 {
+		sc.FineStepSec = 5
+	}
+	if sc.Horizon.Slots == 0 {
+		sc.Horizon = timeutil.Week()
+	}
+	switch {
+	case sc.WarmupSlots == 0:
+		sc.WarmupSlots = 6
+	case sc.WarmupSlots < 0:
+		sc.WarmupSlots = 0
+	}
+	if timeutil.Slot(sc.WarmupSlots) > sc.Horizon.Slots/2 {
+		sc.WarmupSlots = int(sc.Horizon.Slots / 2)
+	}
+}
+
+// Validate checks the scenario wiring.
+func (sc *Scenario) Validate() error {
+	if sc.Workload == nil {
+		return fmt.Errorf("sim: nil workload")
+	}
+	if err := sc.Fleet.Validate(); err != nil {
+		return err
+	}
+	if sc.Topo == nil {
+		return fmt.Errorf("sim: nil topology")
+	}
+	if err := sc.Topo.Validate(); err != nil {
+		return err
+	}
+	if sc.Topo.N != len(sc.Fleet) {
+		return fmt.Errorf("sim: topology has %d DCs, fleet %d", sc.Topo.N, len(sc.Fleet))
+	}
+	if sc.Horizon.Slots > sc.Workload.Slots() {
+		return fmt.Errorf("sim: horizon %d slots exceeds workload %d", sc.Horizon.Slots, sc.Workload.Slots())
+	}
+	return nil
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Policy   string
+	Scenario string
+
+	// Operational cost (Fig. 1).
+	OpCost     units.Money
+	CostPerDC  []units.Money
+	CostSeries metrics.Series // EUR per slot
+
+	// Energy (Fig. 2): facility energy consumed by the DCs.
+	TotalEnergy  units.Energy
+	EnergyPerDC  []units.Energy
+	EnergySeries metrics.Series // GJ per slot, fleet-wide
+
+	// Response time (Fig. 3): one sample per (slot, destination DC).
+	RespSamples []float64
+	RespSummary metrics.Summary
+
+	// Migration behaviour.
+	Migrations    int
+	MigRejected   int
+	MigratedBytes units.DataSize
+
+	// Traffic locality: application bytes exchanged within a DC vs across
+	// DCs (the balance the network-aware policies fight over).
+	IntraBytes units.DataSize
+	CrossBytes units.DataSize
+
+	// Consolidation.
+	MeanActiveServers float64
+	Overflowed        int
+	// ThrottledCoreSec accumulates demand the packed servers could not
+	// serve (capacity shortfall x seconds) — implicit performance loss.
+	ThrottledCoreSec float64
+
+	// Energy sourcing.
+	GridEnergy    units.Energy
+	RenewableUsed units.Energy
+	RenewableLost units.Energy
+	BatteryOut    units.Energy
+
+	// FinalPlacement maps every VM active in the last slot to its DC — the
+	// end-state snapshot used by visualization tools.
+	FinalPlacement map[int]int
+}
+
+// WorstResp returns the worst-case response time — the paper's SLA metric.
+func (r *Result) WorstResp() float64 { return r.RespSummary.Max() }
+
+// MeanResp returns the average response time.
+func (r *Result) MeanResp() float64 { return r.RespSummary.Mean() }
+
+// Run simulates pol over sc.
+func Run(sc *Scenario, pol policy.Policy) (*Result, error) {
+	sc.applyDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	w := sc.Workload
+	fleet := sc.Fleet
+	n := len(fleet)
+	net := network.NewState(sc.Topo, rng.New(sc.Seed).Derive("network"))
+	constraint := (1 - sc.QoS) * timeutil.SlotSeconds
+
+	res := &Result{
+		Policy:      pol.Name(),
+		Scenario:    sc.Name,
+		CostPerDC:   make([]units.Money, n),
+		EnergyPerDC: make([]units.Energy, n),
+	}
+	res.CostSeries.Name = "cost-eur"
+	res.EnergySeries.Name = "energy-gj"
+
+	current := make(map[int]int) // VM -> DC, surviving across slots
+	lastEnergy := make([]units.Energy, n)
+	var activeServerSum float64
+
+	for sl := timeutil.Slot(0); sl < sc.Horizon.Slots; sl++ {
+		ids := w.ActiveVMs(sl)
+		// Drop departed VMs from the carried placement.
+		activeSet := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			activeSet[id] = true
+		}
+		for id := range current {
+			if !activeSet[id] {
+				delete(current, id)
+			}
+		}
+
+		// Observed information: the previous interval's loads and volumes
+		// (slot 0 bootstraps from itself).
+		obsSlot := sl
+		if sl > 0 {
+			obsSlot = sl - 1
+		}
+		ps := correlation.NewProfileSet(sc.ProfileSamples)
+		for _, id := range ids {
+			ps.Add(id, w.SlotProfile(id, obsSlot, sc.ProfileSamples))
+		}
+		dm := correlation.NewDataMatrix()
+		for _, e := range w.PlannedVolumes(obsSlot, sl) {
+			dm.Add(e.From, e.To, e.Vol)
+		}
+
+		in := &policy.Input{
+			Slot:          sl,
+			ActiveVMs:     ids,
+			Current:       current,
+			Profiles:      ps,
+			Volumes:       dm,
+			VMEnergy:      vmEnergies(w, fleet, ids, ps, sl),
+			Image:         imageSizes(w, ids),
+			DCs:           fleet,
+			Prices:        make([]units.Price, n),
+			RenewForecast: make([]units.Energy, n),
+			BatteryAvail:  make([]units.Energy, n),
+			LastEnergy:    append([]units.Energy(nil), lastEnergy...),
+			Net:           net,
+			Constraint:    constraint,
+		}
+		for i, d := range fleet {
+			in.Prices[i] = d.Tariff.AtSlot(sl)
+			in.RenewForecast[i] = d.Forecast.Forecast(sl)
+			in.BatteryAvail[i] = d.Bank.UsableAC()
+		}
+
+		measured := sl >= timeutil.Slot(sc.WarmupSlots)
+		net.Reroll()
+		placement := pol.Place(in)
+		byDC := make([][]int, n)
+		for _, id := range ids {
+			dcIdx, ok := placement.DCOf[id]
+			if !ok || dcIdx < 0 || dcIdx >= n {
+				return nil, fmt.Errorf("sim: policy %s left VM %d unplaced at slot %d", pol.Name(), id, sl)
+			}
+			byDC[dcIdx] = append(byDC[dcIdx], id)
+		}
+		if measured {
+			res.Migrations += len(placement.Moves)
+			res.MigRejected += placement.Rejected
+			for _, m := range placement.Moves {
+				res.MigratedBytes += m.Image
+			}
+		}
+
+		// Local phase.
+		allocs := make([]allocView, n)
+		for i, d := range fleet {
+			a := pol.Allocate(d, byDC[i], ps)
+			if measured {
+				res.Overflowed += a.Overflowed
+				activeServerSum += float64(a.Active)
+			}
+			allocs[i] = newAllocView(a)
+		}
+
+		// Fine loop over [sl, sl+1).
+		slotEnergy := make([]units.Energy, n)
+		var slotCost units.Money
+		dt := sc.FineStepSec
+		start := sl.Seconds()
+		for t := 0.0; t < timeutil.SlotSeconds; t += dt {
+			at := start + t
+			step := timeutil.Step(int64(at) / timeutil.StepSeconds)
+			for i, d := range fleet {
+				it, throttled := allocs[i].itPower(w, d, step)
+				pue := d.Cooling.PUEAt(at)
+				facility := units.Power(float64(it) * pue)
+				renew := d.Plant.PowerAt(at)
+				dec := d.Green.Step(facility, renew, at, dt)
+				slotEnergy[i] += dec.Demand
+				if !measured {
+					continue
+				}
+				res.ThrottledCoreSec += throttled * dt
+				slotCost += dec.Cost
+				res.CostPerDC[i] += dec.Cost
+				res.GridEnergy += dec.Grid()
+				res.RenewableUsed += dec.RenewableUsed
+				res.RenewableLost += dec.RenewableLost
+				res.BatteryOut += dec.BatteryOut
+			}
+		}
+		var slotTotal units.Energy
+		for i := range fleet {
+			lastEnergy[i] = slotEnergy[i]
+			if measured {
+				res.EnergyPerDC[i] += slotEnergy[i]
+			}
+			slotTotal += slotEnergy[i]
+		}
+		if measured {
+			res.TotalEnergy += slotTotal
+			res.OpCost += slotCost
+			res.CostSeries.Append(float64(sl), float64(slotCost))
+			res.EnergySeries.Append(float64(sl), slotTotal.GJ())
+		}
+
+		// Response time of the slot: actual volumes aggregated by DC pair
+		// (Eq. 1). Migration images are *not* added here — the paper's QoS
+		// constraint already bounds them to 2% of the slot, and response
+		// time is defined as "the amount of time [VMs] have to wait for
+		// data from other VMs", i.e. application traffic only.
+		vol := make([][]units.DataSize, n)
+		for i := range vol {
+			vol[i] = make([]units.DataSize, n)
+		}
+		for _, e := range w.Volumes(sl) {
+			if !activeSet[e.From] || !activeSet[e.To] {
+				continue
+			}
+			from, to := placement.DCOf[e.From], placement.DCOf[e.To]
+			vol[from][to] += e.Vol
+			if !measured {
+				continue
+			}
+			if from == to {
+				res.IntraBytes += e.Vol
+			} else {
+				res.CrossBytes += e.Vol
+			}
+		}
+		if measured {
+			for j := 0; j < n; j++ {
+				resp := net.DestLatency(j, vol)
+				res.RespSamples = append(res.RespSamples, resp)
+				res.RespSummary.Add(resp)
+			}
+		}
+
+		// Learn: forecasters see the slot's realized PV intake.
+		for _, d := range fleet {
+			d.Forecast.Observe(sl, d.Plant.SlotEnergy(sl))
+		}
+
+		// Carry placement.
+		for id, dcIdx := range placement.DCOf {
+			current[id] = dcIdx
+		}
+	}
+	if measuredSlots := int(sc.Horizon.Slots) - sc.WarmupSlots; measuredSlots > 0 {
+		res.MeanActiveServers = activeServerSum / float64(measuredSlots)
+	}
+	res.FinalPlacement = make(map[int]int, len(current))
+	for id, d := range current {
+		res.FinalPlacement[id] = d
+	}
+	return res, nil
+}
+
+// vmEnergies predicts each VM's next-slot facility energy: mean utilization
+// times the fleet server's fully-loaded per-core power, times the mean PUE
+// across sites.
+func vmEnergies(w trace.Source, fleet dc.Fleet, ids []int, ps *correlation.ProfileSet, sl timeutil.Slot) map[int]float64 {
+	perCore := float64(fleet[0].Model.MarginalPower() + fleet[0].Model.IdleShare())
+	var pue float64
+	for _, d := range fleet {
+		pue += d.Cooling.MeanPUEOverSlot(sl)
+	}
+	pue /= float64(len(fleet))
+	out := make(map[int]float64, len(ids))
+	for _, id := range ids {
+		out[id] = ps.Mean(id) * perCore * pue * timeutil.SlotSeconds
+	}
+	return out
+}
+
+// imageSizes collects migration image sizes for the active VMs.
+func imageSizes(w trace.Source, ids []int) map[int]units.DataSize {
+	out := make(map[int]units.DataSize, len(ids))
+	for _, id := range ids {
+		out[id] = w.Image(id)
+	}
+	return out
+}
+
+// allocView caches an allocation in a form the fine loop can evaluate
+// quickly: per server, the member VM ids and the DVFS level.
+type allocView struct {
+	servers []serverView
+}
+
+type serverView struct {
+	vms   []int
+	level int
+}
+
+func newAllocView(a alloc.Result) allocView {
+	v := allocView{servers: make([]serverView, len(a.Servers))}
+	for s, srv := range a.Servers {
+		v.servers[s] = serverView{vms: srv.VMs, level: srv.Level}
+	}
+	return v
+}
+
+// itPower returns the DC's IT power at the fine step plus the throttled
+// demand (reference cores beyond the packed servers' capacity).
+func (v *allocView) itPower(w trace.Source, d *dc.DC, step timeutil.Step) (units.Power, float64) {
+	var total units.Power
+	var throttled float64
+	for _, srv := range v.servers {
+		var load float64
+		for _, id := range srv.vms {
+			load += w.Util(id, step)
+		}
+		capS := d.Model.Capacity(srv.level)
+		if load > capS {
+			throttled += load - capS
+		}
+		total += d.Model.Power(srv.level, load)
+	}
+	return total, throttled
+}

@@ -1,0 +1,111 @@
+package solar
+
+import (
+	"testing"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+func TestWCMAGapClamped(t *testing.T) {
+	w := NewWCMA(2, 1.0)
+	// History: flat 100 per hour for two days.
+	for day := 0; day < 2; day++ {
+		for h := 0; h < 24; h++ {
+			w.Observe(timeutil.Slot(day*24+h), 100)
+		}
+	}
+	// Day 2: absurdly high morning (10000x history): gap must clamp at 2.
+	for h := 0; h < 12; h++ {
+		w.Observe(timeutil.Slot(2*24+h), 1e6)
+	}
+	got := w.Forecast(timeutil.Slot(2*24 + 13))
+	if got > 205 {
+		t.Fatalf("forecast %v above clamped 2x history", got)
+	}
+	if got < 195 {
+		t.Fatalf("forecast %v below clamped expectation", got)
+	}
+}
+
+func TestWCMAGapFloorClamped(t *testing.T) {
+	w := NewWCMA(2, 1.0)
+	for day := 0; day < 2; day++ {
+		for h := 0; h < 24; h++ {
+			w.Observe(timeutil.Slot(day*24+h), 100)
+		}
+	}
+	// Day 2: dead morning: gap clamps at 0.1, not 0.
+	for h := 0; h < 12; h++ {
+		w.Observe(timeutil.Slot(2*24+h), 0)
+	}
+	got := w.Forecast(timeutil.Slot(2*24 + 13))
+	if got < 9 || got > 11 {
+		t.Fatalf("forecast %v, want ~10 (0.1 x history)", got)
+	}
+}
+
+func TestEWMAIndependentHours(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(timeutil.Slot(10), 100)
+	if got := e.Forecast(timeutil.Slot(11)); got != 0 {
+		t.Fatalf("hour 11 contaminated by hour 10 observation: %v", got)
+	}
+}
+
+func TestPlantScalingLinearInPeak(t *testing.T) {
+	a := LisbonPlant()
+	b := LisbonPlant()
+	b.Peak = a.Peak / 2
+	noon := 12 * 3600.0
+	pa, pb := a.PowerAt(noon), b.PowerAt(noon)
+	if pa == 0 {
+		t.Skip("cloudy noon in this seed")
+	}
+	ratio := float64(pa) / float64(pb)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("power not linear in nameplate: ratio %v", ratio)
+	}
+}
+
+func TestWinterProducesLessThanSummer(t *testing.T) {
+	summer := LisbonPlant()
+	summer.DayOfYear = 172 // June solstice
+	winter := LisbonPlant()
+	winter.DayOfYear = 355 // December solstice
+	var es, ew units.Energy
+	for sl := timeutil.Slot(0); sl < 24; sl++ {
+		es += summer.SlotEnergy(sl)
+		ew += winter.SlotEnergy(sl)
+	}
+	if ew >= es {
+		t.Fatalf("winter day %v not below summer day %v", ew, es)
+	}
+}
+
+func TestHelsinkiSummerLongDays(t *testing.T) {
+	// At 60 N in June the sun is up before 04:00 local.
+	p := HelsinkiPlant()
+	p.DayOfYear = 172
+	early := 2 * 3600.0 // 02:00 UTC = 04:00 local
+	if p.elevationSin(early) <= 0 {
+		t.Skip("model keeps sun below horizon at 04:00 local; acceptable")
+	}
+	if p.PowerAt(early) < 0 {
+		t.Fatal("negative power")
+	}
+}
+
+func TestForecastersNonNegative(t *testing.T) {
+	p := ZurichPlant()
+	fs := []Forecaster{NewWCMA(4, 0.7), NewEWMA(0.5), &LastValue{}, &Oracle{Plant: p}}
+	for sl := timeutil.Slot(0); sl < 96; sl++ {
+		actual := p.SlotEnergy(sl)
+		for _, f := range fs {
+			if v := f.Forecast(sl); v < 0 {
+				t.Fatalf("%s produced negative forecast %v", f.Name(), v)
+			}
+			f.Observe(sl, actual)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// Replay is a workload loaded from CSV files — the hook for driving the
+// simulator with real data-center traces instead of the synthetic
+// generator, mirroring the paper's use of sampled production VMs.
+//
+// The on-disk format (written by ExportReplay and cmd/tracegen -replay):
+//
+//	vms.csv       id,arrival_slot,depart_slot,image_gb
+//	profiles.csv  id,slot,s0,s1,...,s{n-1}   (per-slot utilization samples)
+//	volumes.csv   slot,from,to,bytes         (directed inter-VM transfers)
+//
+// Utilization between profile samples is held piecewise constant; slots
+// without a profile row read as zero demand.
+type Replay struct {
+	slots   timeutil.Slot
+	samples int
+	vms     []replayVM
+	active  [][]int
+	// profiles[id][slot] -> samples (nil when absent)
+	profiles [][][]float64
+	// volumes[slot] -> entries
+	volumes [][]VolumeEntry
+}
+
+type replayVM struct {
+	arrival, depart timeutil.Slot
+	image           units.DataSize
+}
+
+// NumVMs implements Source.
+func (r *Replay) NumVMs() int { return len(r.vms) }
+
+// Slots implements Source.
+func (r *Replay) Slots() timeutil.Slot { return r.slots }
+
+// Image implements Source.
+func (r *Replay) Image(id int) units.DataSize { return r.vms[id].image }
+
+// ActiveVMs implements Source.
+func (r *Replay) ActiveVMs(sl timeutil.Slot) []int {
+	if sl < 0 || int(sl) >= len(r.active) {
+		return nil
+	}
+	return r.active[sl]
+}
+
+// SlotProfile implements Source, resampling the stored profile to n points.
+func (r *Replay) SlotProfile(id int, sl timeutil.Slot, n int) []float64 {
+	out := make([]float64, n)
+	if id < 0 || id >= len(r.profiles) || sl < 0 || int(sl) >= len(r.profiles[id]) {
+		return out
+	}
+	prof := r.profiles[id][sl]
+	if len(prof) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[i] = prof[i*len(prof)/n]
+	}
+	return out
+}
+
+// Util implements Source: the stored sample covering the step, held
+// constant.
+func (r *Replay) Util(id int, st timeutil.Step) float64 {
+	sl := st.Slot()
+	if id < 0 || id >= len(r.profiles) || sl < 0 || int(sl) >= len(r.profiles[id]) {
+		return 0
+	}
+	prof := r.profiles[id][sl]
+	if len(prof) == 0 {
+		return 0
+	}
+	within := int(st - sl.Start())
+	idx := within * len(prof) / timeutil.StepsPerSlot
+	if idx >= len(prof) {
+		idx = len(prof) - 1
+	}
+	return prof[idx]
+}
+
+// Volumes implements Source.
+func (r *Replay) Volumes(sl timeutil.Slot) []VolumeEntry {
+	if sl < 0 || int(sl) >= len(r.volumes) {
+		return nil
+	}
+	return r.volumes[sl]
+}
+
+// PlannedVolumes implements Source: the observed slot's entries restricted
+// to VMs alive at the acting slot (a replay has no service topology to
+// extrapolate from).
+func (r *Replay) PlannedVolumes(obs, act timeutil.Slot) []VolumeEntry {
+	var out []VolumeEntry
+	for _, e := range r.Volumes(obs) {
+		if r.aliveAt(e.From, act) && r.aliveAt(e.To, act) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (r *Replay) aliveAt(id int, sl timeutil.Slot) bool {
+	if id < 0 || id >= len(r.vms) {
+		return false
+	}
+	v := r.vms[id]
+	return sl >= v.arrival && sl < v.depart
+}
+
+// ExportReplay writes any Source's first `slots` slots to dir in the replay
+// CSV format with `samples` utilization samples per slot.
+func ExportReplay(src Source, dir string, slots timeutil.Slot, samples int) error {
+	if slots > src.Slots() {
+		slots = src.Slots()
+	}
+	if samples <= 0 {
+		samples = 12
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// vms.csv — only VMs that appear within the exported window.
+	seen := map[int]bool{}
+	first := map[int]timeutil.Slot{}
+	last := map[int]timeutil.Slot{}
+	for sl := timeutil.Slot(0); sl < slots; sl++ {
+		for _, id := range src.ActiveVMs(sl) {
+			if !seen[id] {
+				seen[id] = true
+				first[id] = sl
+			}
+			last[id] = sl
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	vf, err := os.Create(filepath.Join(dir, "vms.csv"))
+	if err != nil {
+		return err
+	}
+	vw := csv.NewWriter(vf)
+	_ = vw.Write([]string{"id", "arrival_slot", "depart_slot", "image_gb"})
+	for _, id := range ids {
+		_ = vw.Write([]string{
+			strconv.Itoa(id),
+			strconv.FormatInt(int64(first[id]), 10),
+			strconv.FormatInt(int64(last[id]+1), 10),
+			strconv.FormatFloat(src.Image(id).GB(), 'f', 3, 64),
+		})
+	}
+	vw.Flush()
+	if err := firstErr(vw.Error(), vf.Close()); err != nil {
+		return err
+	}
+
+	// profiles.csv
+	pf, err := os.Create(filepath.Join(dir, "profiles.csv"))
+	if err != nil {
+		return err
+	}
+	pw := csv.NewWriter(pf)
+	header := []string{"id", "slot"}
+	for s := 0; s < samples; s++ {
+		header = append(header, fmt.Sprintf("s%d", s))
+	}
+	_ = pw.Write(header)
+	for sl := timeutil.Slot(0); sl < slots; sl++ {
+		for _, id := range src.ActiveVMs(sl) {
+			row := []string{strconv.Itoa(id), strconv.FormatInt(int64(sl), 10)}
+			for _, u := range src.SlotProfile(id, sl, samples) {
+				row = append(row, strconv.FormatFloat(u, 'f', 4, 64))
+			}
+			_ = pw.Write(row)
+		}
+	}
+	pw.Flush()
+	if err := firstErr(pw.Error(), pf.Close()); err != nil {
+		return err
+	}
+
+	// volumes.csv
+	of, err := os.Create(filepath.Join(dir, "volumes.csv"))
+	if err != nil {
+		return err
+	}
+	ow := csv.NewWriter(of)
+	_ = ow.Write([]string{"slot", "from", "to", "bytes"})
+	for sl := timeutil.Slot(0); sl < slots; sl++ {
+		for _, e := range src.Volumes(sl) {
+			_ = ow.Write([]string{
+				strconv.FormatInt(int64(sl), 10),
+				strconv.Itoa(e.From),
+				strconv.Itoa(e.To),
+				strconv.FormatFloat(e.Vol.Bytes(), 'f', 0, 64),
+			})
+		}
+	}
+	ow.Flush()
+	return firstErr(ow.Error(), of.Close())
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// LoadReplay reads a replay-format directory.
+func LoadReplay(dir string) (*Replay, error) {
+	r := &Replay{}
+
+	// vms.csv
+	rows, err := readCSV(filepath.Join(dir, "vms.csv"), 4)
+	if err != nil {
+		return nil, err
+	}
+	maxID := -1
+	type vmRow struct {
+		id              int
+		arrival, depart timeutil.Slot
+		image           units.DataSize
+	}
+	var vms []vmRow
+	for _, row := range rows {
+		id, err1 := strconv.Atoi(row[0])
+		arr, err2 := strconv.ParseInt(row[1], 10, 64)
+		dep, err3 := strconv.ParseInt(row[2], 10, 64)
+		gb, err4 := strconv.ParseFloat(row[3], 64)
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, fmt.Errorf("trace: vms.csv: %w", err)
+		}
+		if id < 0 || dep < arr {
+			return nil, fmt.Errorf("trace: vms.csv: invalid VM row %v", row)
+		}
+		vms = append(vms, vmRow{id, timeutil.Slot(arr), timeutil.Slot(dep), units.DataSize(gb * 1e9)})
+		if id > maxID {
+			maxID = id
+		}
+		if timeutil.Slot(dep) > r.slots {
+			r.slots = timeutil.Slot(dep)
+		}
+	}
+	r.vms = make([]replayVM, maxID+1)
+	for _, v := range vms {
+		r.vms[v.id] = replayVM{arrival: v.arrival, depart: v.depart, image: v.image}
+	}
+
+	// profiles.csv
+	rows, err = readCSV(filepath.Join(dir, "profiles.csv"), 3)
+	if err != nil {
+		return nil, err
+	}
+	r.profiles = make([][][]float64, maxID+1)
+	for _, row := range rows {
+		id, err1 := strconv.Atoi(row[0])
+		sl, err2 := strconv.ParseInt(row[1], 10, 64)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, fmt.Errorf("trace: profiles.csv: %w", err)
+		}
+		if id < 0 || id > maxID || sl < 0 {
+			return nil, fmt.Errorf("trace: profiles.csv: bad row %v", row)
+		}
+		if timeutil.Slot(sl) >= r.slots {
+			r.slots = timeutil.Slot(sl) + 1
+		}
+		prof := make([]float64, len(row)-2)
+		for i, cell := range row[2:] {
+			u, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: profiles.csv: %w", err)
+			}
+			prof[i] = u
+		}
+		if r.samples == 0 {
+			r.samples = len(prof)
+		}
+		if r.profiles[id] == nil {
+			r.profiles[id] = make([][]float64, 0)
+		}
+		for int64(len(r.profiles[id])) <= sl {
+			r.profiles[id] = append(r.profiles[id], nil)
+		}
+		r.profiles[id][sl] = prof
+	}
+
+	// volumes.csv (optional).
+	rows, err = readCSV(filepath.Join(dir, "volumes.csv"), 4)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	r.volumes = make([][]VolumeEntry, r.slots)
+	for _, row := range rows {
+		sl, err1 := strconv.ParseInt(row[0], 10, 64)
+		from, err2 := strconv.Atoi(row[1])
+		to, err3 := strconv.Atoi(row[2])
+		bytes, err4 := strconv.ParseFloat(row[3], 64)
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, fmt.Errorf("trace: volumes.csv: %w", err)
+		}
+		if sl < 0 || int(sl) >= len(r.volumes) {
+			continue
+		}
+		r.volumes[sl] = append(r.volumes[sl], VolumeEntry{From: from, To: to, Vol: units.DataSize(bytes)})
+	}
+
+	// Active index.
+	r.active = make([][]int, r.slots)
+	for id, v := range r.vms {
+		for sl := v.arrival; sl < v.depart && sl < r.slots; sl++ {
+			r.active[sl] = append(r.active[sl], id)
+		}
+	}
+	return r, nil
+}
+
+// readCSV loads a CSV file, skipping the header row and enforcing a minimum
+// column count.
+func readCSV(path string, minCols int) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = -1
+	var rows [][]string
+	first := true
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", filepath.Base(path), err)
+		}
+		if first {
+			first = false
+			continue
+		}
+		if len(row) < minCols {
+			return nil, fmt.Errorf("trace: %s: row %v has %d columns, want >= %d",
+				filepath.Base(path), row, len(row), minCols)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+func TestReplayRoundTrip(t *testing.T) {
+	w := New(Config{Seed: 5, Horizon: timeutil.Hours(6), InitialVMs: 40})
+	dir := t.TempDir()
+	const samples = 12
+	if err := ExportReplay(w, dir, 6, samples); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slots() < 6 {
+		t.Fatalf("replay slots = %d, want >= 6", r.Slots())
+	}
+	// Active sets match per slot.
+	for sl := timeutil.Slot(0); sl < 6; sl++ {
+		a := w.ActiveVMs(sl)
+		b := r.ActiveVMs(sl)
+		if len(a) != len(b) {
+			t.Fatalf("slot %d: active %d vs %d", sl, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("slot %d: active sets differ at %d", sl, i)
+			}
+		}
+	}
+	// Profiles match exactly at the stored resolution.
+	for _, id := range w.ActiveVMs(2) {
+		want := w.SlotProfile(id, 2, samples)
+		got := r.SlotProfile(id, 2, samples)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-3 { // CSV stores 4 decimals
+				t.Fatalf("vm %d sample %d: %v vs %v", id, i, want[i], got[i])
+			}
+		}
+	}
+	// Volumes match in count and total.
+	for sl := timeutil.Slot(0); sl < 6; sl++ {
+		wv := w.Volumes(sl)
+		rv := r.Volumes(sl)
+		if len(wv) != len(rv) {
+			t.Fatalf("slot %d: volumes %d vs %d", sl, len(wv), len(rv))
+		}
+		var sumW, sumR units.DataSize
+		for i := range wv {
+			sumW += wv[i].Vol
+			sumR += rv[i].Vol
+		}
+		if math.Abs(float64(sumW-sumR)) > float64(len(wv)) { // 1 byte rounding per row
+			t.Fatalf("slot %d: volume totals %v vs %v", sl, sumW, sumR)
+		}
+	}
+	// Image sizes survive.
+	if r.Image(0) != w.Image(0) {
+		t.Fatalf("image = %v, want %v", r.Image(0), w.Image(0))
+	}
+}
+
+func TestReplayUtilPiecewiseConstant(t *testing.T) {
+	w := New(Config{Seed: 7, Horizon: timeutil.Hours(2), InitialVMs: 10})
+	dir := t.TempDir()
+	if err := ExportReplay(w, dir, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 6 samples per slot, steps within one sixth of a slot share a
+	// value.
+	stepsPerSample := timeutil.Step(timeutil.StepsPerSlot / 6)
+	u0 := r.Util(0, 0)
+	u1 := r.Util(0, stepsPerSample-1)
+	if u0 != u1 {
+		t.Fatalf("samples not held constant: %v vs %v", u0, u1)
+	}
+	// The profile resample must agree with Util.
+	prof := r.SlotProfile(0, 0, 6)
+	if prof[0] != u0 {
+		t.Fatalf("profile/util disagree: %v vs %v", prof[0], u0)
+	}
+}
+
+func TestReplayPlannedVolumesFilterByLife(t *testing.T) {
+	w := New(Config{Seed: 11, Horizon: timeutil.Hours(8), InitialVMs: 60, MeanLifeSlots: 3})
+	dir := t.TempDir()
+	if err := ExportReplay(w, dir, 8, 6); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.PlannedVolumes(2, 6) {
+		if !r.aliveAt(e.From, 6) || !r.aliveAt(e.To, 6) {
+			t.Fatalf("planned volume references VM dead at act slot: %+v", e)
+		}
+	}
+}
+
+func TestReplayOutOfRangeQueries(t *testing.T) {
+	w := New(Config{Seed: 13, Horizon: timeutil.Hours(2), InitialVMs: 5})
+	dir := t.TempDir()
+	if err := ExportReplay(w, dir, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveVMs(-1) != nil || r.ActiveVMs(9999) != nil {
+		t.Fatal("out-of-range active not nil")
+	}
+	if r.Util(0, timeutil.Step(1e7)) != 0 {
+		t.Fatal("out-of-range util not 0")
+	}
+	if got := r.SlotProfile(0, 9999, 4); got[0] != 0 {
+		t.Fatal("out-of-range profile not zero")
+	}
+	if r.Volumes(9999) != nil {
+		t.Fatal("out-of-range volumes not nil")
+	}
+}
+
+func TestLoadReplayRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("vms.csv", "id,arrival_slot,depart_slot,image_gb\nnot-a-number,0,1,2\n")
+	write("profiles.csv", "id,slot,s0\n0,0,0.5\n")
+	write("volumes.csv", "slot,from,to,bytes\n")
+	if _, err := LoadReplay(dir); err == nil {
+		t.Fatal("garbage vms.csv accepted")
+	}
+
+	write("vms.csv", "id,arrival_slot,depart_slot,image_gb\n0,5,1,2\n")
+	if _, err := LoadReplay(dir); err == nil {
+		t.Fatal("depart<arrival accepted")
+	}
+
+	write("vms.csv", "id,arrival_slot,depart_slot,image_gb\n0,0,2,2\n")
+	write("profiles.csv", "id,slot,s0\n0,zero,0.5\n")
+	if _, err := LoadReplay(dir); err == nil {
+		t.Fatal("garbage profiles.csv accepted")
+	}
+}
+
+func TestLoadReplayMissingDir(t *testing.T) {
+	if _, err := LoadReplay(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}
+
+func TestExportReplayClampsSlots(t *testing.T) {
+	w := New(Config{Seed: 17, Horizon: timeutil.Hours(3), InitialVMs: 5})
+	dir := t.TempDir()
+	// Ask for more slots than the workload has: clamped, not an error.
+	if err := ExportReplay(w, dir, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slots() > 3 {
+		t.Fatalf("exported %d slots from a 3-slot workload", r.Slots())
+	}
+}

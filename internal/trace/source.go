@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// Source is the workload interface the simulator consumes. The synthetic
+// Workload implements it, and Replay implements it over CSV files so that
+// real data-center traces — what the paper's own evaluation sampled — can
+// drive the same experiments.
+type Source interface {
+	// NumVMs returns the total number of VMs that ever exist.
+	NumVMs() int
+	// ActiveVMs returns the ids active during sl, ascending. The returned
+	// slice is shared; callers must not modify it.
+	ActiveVMs(sl timeutil.Slot) []int
+	// Util returns the VM's CPU demand in reference cores at fine step st.
+	Util(id int, st timeutil.Step) float64
+	// SlotProfile returns n samples of the VM's utilization across sl.
+	SlotProfile(id int, sl timeutil.Slot, n int) []float64
+	// Volumes returns the realized directed inter-VM volumes of slot sl.
+	Volumes(sl timeutil.Slot) []VolumeEntry
+	// PlannedVolumes returns volumes for pairs active at slot act, priced
+	// at slot obs's activity — the controller's placement-time knowledge.
+	PlannedVolumes(obs, act timeutil.Slot) []VolumeEntry
+	// Image returns the VM's migration image size.
+	Image(id int) units.DataSize
+	// Slots returns the number of slots the workload covers.
+	Slots() timeutil.Slot
+}
+
+// Statically assert both implementations.
+var (
+	_ Source = (*Workload)(nil)
+	_ Source = (*Replay)(nil)
+)

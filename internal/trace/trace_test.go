@@ -1,0 +1,362 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+func testWorkload(t *testing.T, seed uint64) *Workload {
+	t.Helper()
+	return New(Config{
+		Seed:       seed,
+		Horizon:    timeutil.Days(2),
+		InitialVMs: 120,
+	})
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := testWorkload(t, 5)
+	b := testWorkload(t, 5)
+	if a.NumVMs() != b.NumVMs() || a.NumServices() != b.NumServices() {
+		t.Fatalf("counts diverged: %d/%d vs %d/%d", a.NumVMs(), a.NumServices(), b.NumVMs(), b.NumServices())
+	}
+	for id := 0; id < a.NumVMs(); id++ {
+		va, vb := a.VM(id), b.VM(id)
+		if va.Arrival != vb.Arrival || va.Depart != vb.Depart || va.Class != vb.Class || va.Image != vb.Image {
+			t.Fatalf("vm %d metadata diverged", id)
+		}
+	}
+	for st := timeutil.Step(0); st < 2000; st += 37 {
+		if a.Util(3, st) != b.Util(3, st) {
+			t.Fatalf("util diverged at step %d", st)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := testWorkload(t, 1)
+	b := testWorkload(t, 2)
+	same := 0
+	for st := timeutil.Step(0); st < 100; st++ {
+		if a.Util(0, st) == b.Util(0, st) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestInitialVMsActiveAtSlotZero(t *testing.T) {
+	w := testWorkload(t, 3)
+	if got := len(w.ActiveVMs(0)); got != 120 {
+		t.Fatalf("active at slot 0 = %d, want 120", got)
+	}
+}
+
+func TestArrivalsAndDeparturesConsistent(t *testing.T) {
+	w := testWorkload(t, 7)
+	for sl := timeutil.Slot(1); sl < w.Config().Horizon.Slots; sl++ {
+		prev := map[int]bool{}
+		for _, id := range w.ActiveVMs(sl - 1) {
+			prev[id] = true
+		}
+		cur := map[int]bool{}
+		for _, id := range w.ActiveVMs(sl) {
+			cur[id] = true
+		}
+		for _, id := range w.Arrivals(sl) {
+			if prev[id] {
+				t.Fatalf("slot %d: arrival %d already active", sl, id)
+			}
+			if !cur[id] {
+				t.Fatalf("slot %d: arrival %d not active", sl, id)
+			}
+		}
+		for _, id := range w.Departures(sl) {
+			if !prev[id] {
+				t.Fatalf("slot %d: departure %d was not active", sl, id)
+			}
+			if cur[id] {
+				t.Fatalf("slot %d: departure %d still active", sl, id)
+			}
+		}
+	}
+}
+
+func TestActiveMatchesVMWindows(t *testing.T) {
+	w := testWorkload(t, 11)
+	for sl := timeutil.Slot(0); sl < w.Config().Horizon.Slots; sl += 7 {
+		for _, id := range w.ActiveVMs(sl) {
+			if !w.VM(id).ActiveAt(sl) {
+				t.Fatalf("vm %d listed active at %d outside its window", id, sl)
+			}
+		}
+	}
+}
+
+func TestUtilBounds(t *testing.T) {
+	w := testWorkload(t, 13)
+	for id := 0; id < w.NumVMs(); id += 5 {
+		for st := timeutil.Step(0); st < 5000; st += 111 {
+			u := w.Util(id, st)
+			if u < 0.02-1e-12 || u > 1+1e-12 {
+				t.Fatalf("vm %d util %v out of [0.02, 1] at step %d", id, u, st)
+			}
+		}
+	}
+}
+
+func TestImageSizeDistribution(t *testing.T) {
+	w := New(Config{Seed: 17, Horizon: timeutil.Days(1), InitialVMs: 3000})
+	counts := map[units.DataSize]int{}
+	for id := 0; id < w.NumVMs(); id++ {
+		counts[w.VM(id).Image]++
+	}
+	total := float64(w.NumVMs())
+	if got := float64(counts[2*units.Gigabyte]) / total; math.Abs(got-0.6) > 0.04 {
+		t.Errorf("2 GB share = %v, want ~0.6", got)
+	}
+	if got := float64(counts[4*units.Gigabyte]) / total; math.Abs(got-0.3) > 0.04 {
+		t.Errorf("4 GB share = %v, want ~0.3", got)
+	}
+	if got := float64(counts[8*units.Gigabyte]) / total; math.Abs(got-0.1) > 0.03 {
+		t.Errorf("8 GB share = %v, want ~0.1", got)
+	}
+}
+
+func TestServiceMembersShareClassAndPhase(t *testing.T) {
+	w := testWorkload(t, 19)
+	for s := 0; s < w.NumServices(); s++ {
+		svc := w.Service(s)
+		for _, id := range svc.Members {
+			vm := w.VM(id)
+			if vm.Class != svc.Class {
+				t.Fatalf("service %d: member %d class %v != %v", s, id, vm.Class, svc.Class)
+			}
+			if vm.peakHour != svc.PeakHour {
+				t.Fatalf("service %d: member %d phase differs", s, id)
+			}
+		}
+	}
+}
+
+func TestSameServicePeersAreCPUCorrelated(t *testing.T) {
+	// Two web-search VMs of the same service must have visibly correlated
+	// diurnal profiles (peaks coincide); VMs of services peaking 12h apart
+	// must not. Use daily mean-by-hour profiles.
+	w := New(Config{Seed: 23, Horizon: timeutil.Days(1), InitialVMs: 400, MeanServiceVMs: 8})
+	var svcA *Service
+	for s := 0; s < w.NumServices(); s++ {
+		svc := w.Service(s)
+		if svc.Class == ClassWebSearch && len(svc.Members) >= 2 {
+			svcA = svc
+			break
+		}
+	}
+	if svcA == nil {
+		t.Skip("no multi-member web service generated")
+	}
+	hourly := func(id int) []float64 {
+		out := make([]float64, 24)
+		for h := 0; h < 24; h++ {
+			st := timeutil.Slot(h).Start()
+			var sum float64
+			for k := 0; k < 12; k++ {
+				sum += w.Util(id, st+timeutil.Step(k*60))
+			}
+			out[h] = sum / 12
+		}
+		return out
+	}
+	a := hourly(svcA.Members[0])
+	b := hourly(svcA.Members[1])
+	// Peaks must be within a couple of hours of each other.
+	argmax := func(p []float64) int {
+		best := 0
+		for i, v := range p {
+			if v > p[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	da := argmax(a)
+	db := argmax(b)
+	diff := (da - db + 24) % 24
+	if diff > 12 {
+		diff = 24 - diff
+	}
+	if diff > 3 {
+		t.Fatalf("same-service peaks %d h apart", diff)
+	}
+}
+
+func TestVolumesBidirectionalAndTimeVarying(t *testing.T) {
+	w := New(Config{Seed: 29, Horizon: timeutil.Days(1), InitialVMs: 200, MeanServiceVMs: 6})
+	vols := w.Volumes(10)
+	if len(vols) == 0 {
+		t.Fatal("no inter-VM volumes at slot 10")
+	}
+	// Both directions of at least one pair must exist with different values.
+	dir := map[[2]int]units.DataSize{}
+	for _, e := range vols {
+		if e.From == e.To {
+			t.Fatal("self volume")
+		}
+		if e.Vol <= 0 {
+			t.Fatal("non-positive volume entry")
+		}
+		dir[[2]int{e.From, e.To}] += e.Vol
+	}
+	foundAsym := false
+	for k, v := range dir {
+		if rv, ok := dir[[2]int{k[1], k[0]}]; ok && rv != v {
+			foundAsym = true
+			break
+		}
+	}
+	if !foundAsym {
+		t.Fatal("no bidirectional asymmetric pair found")
+	}
+	// Time variation: total volume changes across slots.
+	tot := func(sl timeutil.Slot) units.DataSize {
+		var s units.DataSize
+		for _, e := range w.Volumes(sl) {
+			s += e.Vol
+		}
+		return s
+	}
+	if tot(2) == tot(14) {
+		t.Fatal("volumes not time-varying")
+	}
+}
+
+func TestVolumesOnlyBetweenActiveVMs(t *testing.T) {
+	w := testWorkload(t, 31)
+	for _, sl := range []timeutil.Slot{0, 13, 40} {
+		for _, e := range w.Volumes(sl) {
+			if !w.VM(e.From).ActiveAt(sl) || !w.VM(e.To).ActiveAt(sl) {
+				t.Fatalf("slot %d: volume between inactive VMs %d->%d", sl, e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestMeanAndPeakUtilConsistent(t *testing.T) {
+	w := testWorkload(t, 37)
+	for id := 0; id < 20; id++ {
+		for _, sl := range []timeutil.Slot{0, 5, 20} {
+			mean := w.MeanUtil(id, sl)
+			peak := w.PeakUtil(id, sl)
+			if mean > peak+1e-12 {
+				t.Fatalf("vm %d slot %d: mean %v > peak %v", id, sl, mean, peak)
+			}
+			if peak > 1 || mean < 0 {
+				t.Fatalf("vm %d slot %d: implausible mean/peak %v/%v", id, sl, mean, peak)
+			}
+		}
+	}
+}
+
+func TestSlotProfileMatchesUtil(t *testing.T) {
+	w := testWorkload(t, 41)
+	prof := w.SlotProfile(0, 3, 12)
+	if len(prof) != 12 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	start := timeutil.Slot(3).Start()
+	for i, v := range prof {
+		want := w.Util(0, start+timeutil.Step(i*60))
+		if v != want {
+			t.Fatalf("sample %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestHPCFlatterThanWebSearch(t *testing.T) {
+	w := New(Config{Seed: 43, Horizon: timeutil.Days(1), InitialVMs: 600})
+	variance := func(class Class) float64 {
+		var vals []float64
+		for id := 0; id < w.NumVMs(); id++ {
+			if w.VM(id).Class != class {
+				continue
+			}
+			for h := 0; h < 24; h++ {
+				vals = append(vals, w.MeanUtil(id, timeutil.Slot(h)))
+			}
+			if len(vals) > 24*20 {
+				break
+			}
+		}
+		var m float64
+		for _, v := range vals {
+			m += v
+		}
+		m /= float64(len(vals))
+		var sq float64
+		for _, v := range vals {
+			sq += (v - m) * (v - m)
+		}
+		return sq / float64(len(vals))
+	}
+	if variance(ClassHPC) >= variance(ClassWebSearch) {
+		t.Fatalf("HPC variance %v not below web-search %v", variance(ClassHPC), variance(ClassWebSearch))
+	}
+}
+
+func TestDayExtensionPreservesMeanRoughly(t *testing.T) {
+	// The paper extends one day to a week keeping the mean; our day factors
+	// are unit-mean, so across many VMs the week/day-1 mean ratio ~ 1.
+	w := New(Config{Seed: 47, Horizon: timeutil.Week(), InitialVMs: 150, MeanLifeSlots: 10000})
+	var day1, week float64
+	n := 0
+	for id := 0; id < 100; id++ {
+		for h := 0; h < 24; h++ {
+			day1 += w.MeanUtil(id, timeutil.Slot(h))
+		}
+		for h := 0; h < 168; h++ {
+			week += w.MeanUtil(id, timeutil.Slot(h))
+		}
+		n++
+	}
+	day1 /= float64(n * 24)
+	week /= float64(n * 168)
+	if math.Abs(week-day1)/day1 > 0.08 {
+		t.Fatalf("weekly mean %v drifted from day-1 mean %v", week, day1)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassWebSearch.String() != "websearch" || Class(99).String() != "class(99)" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestOutOfRangeSlotsReturnNil(t *testing.T) {
+	w := testWorkload(t, 53)
+	if w.ActiveVMs(-1) != nil || w.ActiveVMs(99999) != nil {
+		t.Fatal("out-of-range ActiveVMs not nil")
+	}
+	if w.Arrivals(99999) != nil || w.Departures(-1) != nil {
+		t.Fatal("out-of-range arrivals/departures not nil")
+	}
+}
+
+func BenchmarkUtil(b *testing.B) {
+	w := New(Config{Seed: 1, Horizon: timeutil.Days(1), InitialVMs: 100})
+	for i := 0; i < b.N; i++ {
+		_ = w.Util(i%100, timeutil.Step(i))
+	}
+}
+
+func BenchmarkVolumes(b *testing.B) {
+	w := New(Config{Seed: 1, Horizon: timeutil.Days(1), InitialVMs: 500})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Volumes(timeutil.Slot(i % 24))
+	}
+}
