@@ -7,6 +7,7 @@
 package geovmp
 
 import (
+	"context"
 	"testing"
 )
 
@@ -250,5 +251,30 @@ func BenchmarkAblationForecast(b *testing.B) {
 			}
 			b.ReportMetric(float64(res[0].OpCost), name)
 		}
+	}
+}
+
+// BenchmarkExperimentSweep is the engine-level baseline: a 4-policy x
+// 3-seed grid on the reduced scenario, executed by the parallel sweep
+// engine at GOMAXPROCS. Later performance PRs (sharding, caching,
+// multi-backend) must beat this trajectory. Reported: cells per second and
+// the proposed method's mean cost across seeds, so both throughput and the
+// reproduction's shape are tracked.
+func BenchmarkExperimentSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		set, err := NewExperiment(
+			WithScenarios(benchSpec()),
+			WithPolicies(StandardPolicies(0.9)...),
+			WithSeeds(3),
+		).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var meanCost float64
+		for _, r := range set.Results(set.Scenarios[0], "Proposed") {
+			meanCost += float64(r.OpCost)
+		}
+		b.ReportMetric(meanCost/3, "eur-proposed-mean")
+		b.ReportMetric(float64(len(set.Cells))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 	}
 }

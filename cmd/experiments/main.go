@@ -1,11 +1,14 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (Table I, Figs. 1-6) plus the ablation studies listed
-// in DESIGN.md, printing each as text and writing CSVs under -out.
+// in DESIGN.md, printing each as text and writing CSVs under -out. Every
+// experiment is an Experiment-engine sweep: cells run in parallel and
+// Ctrl-C cancels the remainder.
 //
 // Usage:
 //
 //	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast]
-//	            [-scale 0.05] [-seed 42] [-days 7] [-finestep 60] [-out results]
+//	            [-scale 0.05] [-seed 42] [-seeds 1] [-days 7] [-finestep 60]
+//	            [-par 0] [-out results] [-json results/cells.json]
 //
 // The paper's full configuration is -scale 1 -days 7 -finestep 5; the
 // defaults trade fleet size for wall-clock time while preserving the
@@ -13,15 +16,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"geovmp"
-	"geovmp/internal/config"
 	"geovmp/internal/report"
-	"geovmp/internal/sim"
 )
 
 var (
@@ -33,43 +36,61 @@ var (
 	alpha    = flag.Float64("alpha", 0.9, "proposed method's energy-performance weight")
 	outDir   = flag.String("out", "results", "directory for CSV output")
 	seeds    = flag.Int("seeds", 1, "number of seeds for the multi-seed aggregate (figs only)")
+	par      = flag.Int("par", 0, "max concurrent runs (0 = GOMAXPROCS)")
+	jsonOut  = flag.String("json", "", "write the figures sweep's ResultSet as JSON to this path")
 )
 
-func spec() geovmp.Spec {
-	return geovmp.Spec{
-		Scale:       *scale,
-		Seed:        *seed,
-		Horizon:     geovmp.Days(*days),
-		FineStepSec: *fineStep,
+// baseOpts are the scenario options shared by every experiment.
+func baseOpts() []geovmp.ScenarioOption {
+	return []geovmp.ScenarioOption{
+		geovmp.WithScale(*scale),
+		geovmp.WithSeed(*seed),
+		geovmp.WithHorizon(geovmp.Days(*days)),
+		geovmp.WithFineStep(*fineStep),
 	}
+}
+
+func baseSpec(name string, extra ...geovmp.ScenarioOption) geovmp.Spec {
+	return geovmp.NewSpec(name, append(baseOpts(), extra...)...)
+}
+
+// sweep runs one experiment grid, bailing out on cancellation.
+func sweep(ctx context.Context, opts ...geovmp.ExperimentOption) (*geovmp.ResultSet, error) {
+	opts = append(opts, geovmp.WithParallelism(*par))
+	return geovmp.NewExperiment(opts...).Run(ctx)
 }
 
 func main() {
 	flag.Parse()
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
 	var err error
 	switch *expName {
 	case "all":
-		err = runFigures(true)
-		for _, ab := range []func() error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast} {
+		err = runFigures(ctx, true)
+		for _, ab := range []func(context.Context) error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast} {
 			if err != nil {
 				break
 			}
 			fmt.Println()
-			err = ab()
+			err = ab(ctx)
 		}
 	case "figs", "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6":
-		err = runFigures(*expName == "figs" || *expName == "all")
+		err = runFigures(ctx, *expName == "figs" || *expName == "all")
 	case "alpha":
-		err = runAlphaSweep()
+		err = runAlphaSweep(ctx)
 	case "noembed":
-		err = runNoEmbed()
+		err = runNoEmbed(ctx)
 	case "qos":
-		err = runQoSSweep()
+		err = runQoSSweep(ctx)
 	case "battery":
-		err = runBatterySweep()
+		err = runBatterySweep(ctx)
 	case "forecast":
-		err = runForecast()
+		err = runForecast(ctx)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
 		os.Exit(2)
@@ -81,19 +102,29 @@ func main() {
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-// runFigures executes the four-policy comparison and emits the requested
-// figures.
-func runFigures(all bool) error {
-	fmt.Printf("running 4 policies, scale %.3g, %d days, seed %d ...\n", *scale, *days, *seed)
-	results, err := geovmp.Compare(spec(), geovmp.AllPolicies(*alpha, *seed)...)
+// runFigures executes the four-policy comparison (optionally across seeds)
+// and emits the requested figures.
+func runFigures(ctx context.Context, all bool) error {
+	fmt.Printf("running 4 policies x %d seed(s), scale %.3g, %d days ...\n", *seeds, *scale, *days)
+	spec := baseSpec("paper-geo3dc")
+	set, err := sweep(ctx,
+		geovmp.WithScenarios(spec),
+		geovmp.WithPolicies(geovmp.StandardPolicies(*alpha)...),
+		geovmp.WithSeeds(*seeds),
+	)
 	if err != nil {
 		return err
 	}
-	sc, err := geovmp.NewScenario(spec())
+	// Figures are rendered from the base seed's results.
+	results := make([]*geovmp.Result, 0, len(set.Policies))
+	for pi := range set.Policies {
+		results = append(results, set.At(0, pi, 0).Result)
+	}
+	sc, err := geovmp.NewScenario(spec)
 	if err != nil {
 		return err
 	}
-	figs := report.All(sc.Fleet, results)
+	figs := geovmp.Figures(sc, results)
 	for _, f := range figs {
 		if all || *expName == "figs" || *expName == f.ID {
 			fmt.Println()
@@ -107,43 +138,45 @@ func runFigures(all bool) error {
 		return err
 	}
 	fmt.Printf("\nSVG figures written to %s/\n\n", *outDir)
-	fmt.Print(report.Summary(results))
+	fmt.Print(geovmp.Summarize(results))
 	if *seeds > 1 {
-		fmt.Printf("\nrunning %d additional seed(s) for the aggregate ...\n", *seeds-1)
-		runs := [][]*sim.Result{results}
-		for k := 1; k < *seeds; k++ {
-			s := spec()
-			s.Seed = *seed + uint64(k)
-			more, err := geovmp.Compare(s, geovmp.AllPolicies(*alpha, s.Seed)...)
-			if err != nil {
-				return err
-			}
-			runs = append(runs, more)
-		}
-		agg := report.Aggregate(runs)
+		agg := set.Aggregate(set.Scenarios[0])
 		fmt.Println()
 		fmt.Print(agg.Render())
 		if err := agg.WriteCSV(*outDir); err != nil {
 			return err
 		}
 	}
+	if *jsonOut != "" {
+		if err := set.WriteJSON(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Printf("\nResultSet written to %s\n", *jsonOut)
+	}
 	return nil
 }
 
-// runAlphaSweep is ablation A1: the Eq. 5 energy-performance weight.
-func runAlphaSweep() error {
+// runAlphaSweep is ablation A1: the Eq. 5 energy-performance weight, swept
+// on the policy axis of one grid.
+func runAlphaSweep(ctx context.Context) error {
 	fmt.Println("ablation A1: alpha sweep (energy-performance weighting)")
+	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	pols := make([]geovmp.PolicySpec, len(alphas))
+	for i, a := range alphas {
+		pols[i] = geovmp.NewPolicySpec(fmt.Sprintf("alpha=%.1f", a),
+			func(seed uint64) geovmp.Policy { return geovmp.Proposed(a, seed) })
+	}
+	set, err := sweep(ctx, geovmp.WithScenarios(baseSpec("paper-geo3dc")), geovmp.WithPolicies(pols...))
+	if err != nil {
+		return err
+	}
 	fig := &report.Figure{
 		ID:      "ablation-alpha",
 		Title:   "Alpha sweep: Eq. 5 energy/performance weighting",
 		Headers: []string{"alpha", "cost (EUR)", "energy (GJ)", "worst resp (s)", "mean resp (s)", "cross-DC (GB)"},
 	}
-	for _, a := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		res, err := geovmp.Compare(spec(), geovmp.Proposed(a, *seed))
-		if err != nil {
-			return err
-		}
-		r := res[0]
+	for i, a := range alphas {
+		r := set.At(0, i, 0).Result
 		fig.Rows = append(fig.Rows, []string{
 			fmt.Sprintf("%.1f", a),
 			fmt.Sprintf("%.2f", float64(r.OpCost)),
@@ -157,16 +190,23 @@ func runAlphaSweep() error {
 	return fig.WriteCSV(*outDir)
 }
 
-// runNoEmbed is ablation A2: clustering without the force-directed plane.
-func runNoEmbed() error {
+// runNoEmbed is ablation A2: clustering without the force-directed plane,
+// swept as two policy variants of one grid.
+func runNoEmbed(ctx context.Context) error {
 	fmt.Println("ablation A2: embedding on/off")
-	withRes, err := geovmp.Compare(spec(), geovmp.Proposed(*alpha, *seed))
-	if err != nil {
-		return err
-	}
-	noCtl := geovmp.Proposed(*alpha, *seed)
-	noCtl.NoEmbedding = true
-	noRes, err := geovmp.Compare(spec(), noCtl)
+	set, err := sweep(ctx,
+		geovmp.WithScenarios(baseSpec("paper-geo3dc")),
+		geovmp.WithPolicies(
+			geovmp.NewPolicySpec("with embedding",
+				func(seed uint64) geovmp.Policy { return geovmp.Proposed(*alpha, seed) }),
+			geovmp.NewPolicySpec("no embedding",
+				func(seed uint64) geovmp.Policy {
+					ctl := geovmp.Proposed(*alpha, seed)
+					ctl.NoEmbedding = true
+					return ctl
+				}),
+		),
+	)
 	if err != nil {
 		return err
 	}
@@ -175,39 +215,44 @@ func runNoEmbed() error {
 		Title:   "Force-directed embedding on/off",
 		Headers: []string{"variant", "cost (EUR)", "energy (GJ)", "worst resp (s)", "mean resp (s)", "cross-DC (GB)"},
 	}
-	for _, pair := range []struct {
-		name string
-		r    *sim.Result
-	}{{"with embedding", withRes[0]}, {"no embedding", noRes[0]}} {
+	for pi, name := range set.Policies {
+		r := set.At(0, pi, 0).Result
 		fig.Rows = append(fig.Rows, []string{
-			pair.name,
-			fmt.Sprintf("%.2f", float64(pair.r.OpCost)),
-			fmt.Sprintf("%.4f", pair.r.TotalEnergy.GJ()),
-			fmt.Sprintf("%.2f", pair.r.RespSummary.Max()),
-			fmt.Sprintf("%.2f", pair.r.RespSummary.Mean()),
-			fmt.Sprintf("%.1f", pair.r.CrossBytes.GB()),
+			name,
+			fmt.Sprintf("%.2f", float64(r.OpCost)),
+			fmt.Sprintf("%.4f", r.TotalEnergy.GJ()),
+			fmt.Sprintf("%.2f", r.RespSummary.Max()),
+			fmt.Sprintf("%.2f", r.RespSummary.Mean()),
+			fmt.Sprintf("%.1f", r.CrossBytes.GB()),
 		})
 	}
 	fmt.Print(fig.Render())
 	return fig.WriteCSV(*outDir)
 }
 
-// runQoSSweep is ablation A3: the migration latency constraint.
-func runQoSSweep() error {
+// runQoSSweep is ablation A3: the migration latency constraint, swept on
+// the scenario axis.
+func runQoSSweep(ctx context.Context) error {
 	fmt.Println("ablation A3: migration QoS constraint sweep")
+	qos := []float64{0.90, 0.95, 0.98, 0.995, 0.999}
+	specs := make([]geovmp.Spec, len(qos))
+	for i, q := range qos {
+		specs[i] = baseSpec(fmt.Sprintf("qos=%.3f", q), geovmp.WithQoS(q))
+	}
+	set, err := sweep(ctx,
+		geovmp.WithScenarios(specs...),
+		geovmp.WithPolicies(geovmp.StandardPolicies(*alpha)[:1]...),
+	)
+	if err != nil {
+		return err
+	}
 	fig := &report.Figure{
 		ID:      "ablation-qos",
 		Title:   "Migration QoS sweep (constraint = (1-QoS) x slot)",
 		Headers: []string{"QoS", "cost (EUR)", "worst resp (s)", "migrations", "rejected"},
 	}
-	for _, q := range []float64{0.90, 0.95, 0.98, 0.995, 0.999} {
-		s := spec()
-		s.QoS = q
-		res, err := geovmp.Compare(s, geovmp.Proposed(*alpha, *seed))
-		if err != nil {
-			return err
-		}
-		r := res[0]
+	for si, q := range qos {
+		r := set.At(si, 0, 0).Result
 		fig.Rows = append(fig.Rows, []string{
 			fmt.Sprintf("%.3f", q),
 			fmt.Sprintf("%.2f", float64(r.OpCost)),
@@ -220,28 +265,32 @@ func runQoSSweep() error {
 	return fig.WriteCSV(*outDir)
 }
 
-// runBatterySweep is ablation A4: battery bank sizing.
-func runBatterySweep() error {
+// runBatterySweep is ablation A4: battery bank sizing, swept on the
+// scenario axis.
+func runBatterySweep(ctx context.Context) error {
 	fmt.Println("ablation A4: battery size scaling")
+	sizes := []float64{geovmp.BatteryZero, 0.5, 1, 2}
+	labels := []string{"~0", "0.5", "1.0", "2.0"}
+	specs := make([]geovmp.Spec, len(sizes))
+	for i, b := range sizes {
+		specs[i] = baseSpec("battery-x"+labels[i], geovmp.WithBatteryScale(b))
+	}
+	set, err := sweep(ctx,
+		geovmp.WithScenarios(specs...),
+		geovmp.WithPolicies(geovmp.StandardPolicies(*alpha)[:1]...),
+	)
+	if err != nil {
+		return err
+	}
 	fig := &report.Figure{
 		ID:      "ablation-battery",
 		Title:   "Battery capacity scaling x{~0, 0.5, 1, 2}",
 		Headers: []string{"battery scale", "cost (EUR)", "grid (kWh)", "PV used (kWh)", "PV lost (kWh)"},
 	}
-	for _, b := range []float64{config.BatteryZero, 0.5, 1, 2} {
-		s := spec()
-		s.BatteryScale = b
-		res, err := geovmp.Compare(s, geovmp.Proposed(*alpha, *seed))
-		if err != nil {
-			return err
-		}
-		r := res[0]
-		label := fmt.Sprintf("%.1f", b)
-		if b == config.BatteryZero {
-			label = "~0"
-		}
+	for si := range sizes {
+		r := set.At(si, 0, 0).Result
 		fig.Rows = append(fig.Rows, []string{
-			label,
+			labels[si],
 			fmt.Sprintf("%.2f", float64(r.OpCost)),
 			fmt.Sprintf("%.1f", r.GridEnergy.KWh()),
 			fmt.Sprintf("%.1f", r.RenewableUsed.KWh()),
@@ -252,14 +301,10 @@ func runBatterySweep() error {
 	return fig.WriteCSV(*outDir)
 }
 
-// runForecast is ablation A5: renewable forecaster quality.
-func runForecast() error {
+// runForecast is ablation A5: renewable forecaster quality, swept on the
+// scenario axis.
+func runForecast(ctx context.Context) error {
 	fmt.Println("ablation A5: renewable forecast quality")
-	fig := &report.Figure{
-		ID:      "ablation-forecast",
-		Title:   "Forecaster quality: oracle vs WCMA vs EWMA vs last-value",
-		Headers: []string{"forecaster", "cost (EUR)", "grid (kWh)", "PV used (kWh)"},
-	}
 	kinds := []struct {
 		kind geovmp.ForecastKind
 		name string
@@ -269,14 +314,24 @@ func runForecast() error {
 		{geovmp.ForecastEWMA, "ewma"},
 		{geovmp.ForecastLastValue, "last-value"},
 	}
-	for _, k := range kinds {
-		s := spec()
-		s.Forecast = k.kind
-		res, err := geovmp.Compare(s, geovmp.Proposed(*alpha, *seed))
-		if err != nil {
-			return err
-		}
-		r := res[0]
+	specs := make([]geovmp.Spec, len(kinds))
+	for i, k := range kinds {
+		specs[i] = baseSpec("forecast-"+k.name, geovmp.WithForecast(k.kind))
+	}
+	set, err := sweep(ctx,
+		geovmp.WithScenarios(specs...),
+		geovmp.WithPolicies(geovmp.StandardPolicies(*alpha)[:1]...),
+	)
+	if err != nil {
+		return err
+	}
+	fig := &report.Figure{
+		ID:      "ablation-forecast",
+		Title:   "Forecaster quality: oracle vs WCMA vs EWMA vs last-value",
+		Headers: []string{"forecaster", "cost (EUR)", "grid (kWh)", "PV used (kWh)"},
+	}
+	for si, k := range kinds {
+		r := set.At(si, 0, 0).Result
 		fig.Rows = append(fig.Rows, []string{
 			k.name,
 			fmt.Sprintf("%.2f", float64(r.OpCost)),

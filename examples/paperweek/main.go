@@ -1,11 +1,13 @@
 // Paperweek reproduces the paper's full evaluation: all four placement
 // methods over a one-week horizon, regenerating Table I and Figures 1-6.
+// The four runs execute concurrently on the experiment engine.
 //
 //	go run ./examples/paperweek            # 5% fleet, fast
 //	go run ./examples/paperweek -scale 1   # the paper's 3000-server fleet
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,20 +22,31 @@ func main() {
 	fineStep := flag.Float64("finestep", 60, "green controller step (paper: 5s)")
 	flag.Parse()
 
-	spec := geovmp.Spec{
-		Scale:       *scale,
-		Seed:        *seed,
-		Horizon:     geovmp.Week(),
-		FineStepSec: *fineStep,
-	}
+	spec := geovmp.NewSpec("paper-week",
+		geovmp.WithScale(*scale),
+		geovmp.WithSeed(*seed),
+		geovmp.WithHorizon(geovmp.Week()),
+		geovmp.WithFineStep(*fineStep),
+	)
 
-	fmt.Printf("simulating one week, 4 policies, scale %.3g ...\n", *scale)
+	fmt.Printf("simulating one week, 4 policies in parallel, scale %.3g ...\n", *scale)
 	start := time.Now()
-	results, err := geovmp.Compare(spec, geovmp.AllPolicies(0.9, *seed)...)
+	set, err := geovmp.NewExperiment(
+		geovmp.WithScenarios(spec),
+		geovmp.WithPolicies(geovmp.StandardPolicies(0.9)...),
+		geovmp.WithProgress(func(p geovmp.Progress) {
+			fmt.Printf("  [%d/%d] %s done\n", p.Done, p.Total, p.Cell.Policy)
+		}),
+	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("done in %s\n\n", time.Since(start).Round(time.Second))
+
+	results := make([]*geovmp.Result, 0, len(set.Policies))
+	for pi := range set.Policies {
+		results = append(results, set.At(0, pi, 0).Result)
+	}
 
 	// Regenerate the paper's figures from the results.
 	sc, err := geovmp.NewScenario(spec)

@@ -1,27 +1,30 @@
 // Replaytrace shows the trace-replay workflow: export a workload to the CSV
 // replay format, load it back (exactly how real data-center traces would be
-// fed in), run the proposed controller on it, and render the final
-// embedding plane — one dot per VM, colored by the data center it ended up
-// in — as an SVG.
+// fed in), run the proposed controller on it through the experiment engine
+// via the WithWorkload scenario option, and render the final embedding
+// plane — one dot per VM, colored by the data center it ended up in — as an
+// SVG.
 //
 //	go run ./examples/replaytrace
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+
+	"geovmp"
 )
 
-import "geovmp"
-
 func main() {
-	spec := geovmp.Spec{
-		Scale:       0.03,
-		Seed:        21,
-		Horizon:     geovmp.Days(1),
-		FineStepSec: 300,
+	common := []geovmp.ScenarioOption{
+		geovmp.WithScale(0.03),
+		geovmp.WithSeed(21),
+		geovmp.WithHorizon(geovmp.Days(1)),
+		geovmp.WithFineStep(300),
 	}
+	spec := geovmp.NewSpec("synthetic", common...)
 
 	// 1. Export the synthetic workload in the replay CSV format. Real
 	// production traces go into the same three files: vms.csv,
@@ -40,23 +43,30 @@ func main() {
 	}
 	fmt.Printf("exported workload to %s\n", dir)
 
-	// 2. Load it back and install it into a fresh scenario.
+	// 2. Load it back and declare a scenario that replays it.
 	replayed, err := geovmp.LoadWorkload(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	scReplay, err := geovmp.NewScenario(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	scReplay.Workload = replayed
+	replaySpec := geovmp.NewSpec("replayed",
+		append(common, geovmp.WithWorkload(replayed))...)
 
-	// 3. Run the proposed controller on the replayed trace.
-	ctrl := geovmp.Proposed(0.9, spec.Seed)
-	res, err := geovmp.Run(scReplay, ctrl)
+	// 3. Run the proposed controller on the replayed trace, keeping a
+	// handle on the instance the engine builds so we can render its
+	// embedding afterwards.
+	var ctrl *geovmp.ProposedController
+	set, err := geovmp.NewExperiment(
+		geovmp.WithScenarios(replaySpec),
+		geovmp.WithPolicies(geovmp.NewPolicySpec("Proposed",
+			func(seed uint64) geovmp.Policy {
+				ctrl = geovmp.Proposed(0.9, seed)
+				return ctrl
+			})),
+	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := set.At(0, 0, 0).Result
 	fmt.Printf("replayed run: cost=%.2f EUR, energy=%.4f GJ, %d migrations\n",
 		float64(res.OpCost), res.TotalEnergy.GJ(), res.Migrations)
 

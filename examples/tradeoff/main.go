@@ -1,12 +1,15 @@
 // Tradeoff sweeps the proposed controller's alpha — the Eq. 5 weighting
 // between data-correlation attraction (performance) and CPU-load-correlation
 // repulsion (energy) — and prints the cost/energy/response frontier the
-// paper explores in Figures 5 and 6.
+// paper explores in Figures 5 and 6. The whole frontier is one experiment
+// grid: seven policy variants (five alphas plus two framing baselines)
+// evaluated concurrently on identical scenario replicas.
 //
 //	go run ./examples/tradeoff
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,38 +17,47 @@ import (
 )
 
 func main() {
-	spec := geovmp.Spec{
-		Scale:       0.04,
-		Seed:        11,
-		Horizon:     geovmp.Days(2),
-		FineStepSec: 60,
+	spec := geovmp.NewSpec("tradeoff",
+		geovmp.WithScale(0.04),
+		geovmp.WithSeed(11),
+		geovmp.WithHorizon(geovmp.Days(2)),
+		geovmp.WithFineStep(60),
+	)
+
+	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	pols := make([]geovmp.PolicySpec, 0, len(alphas)+2)
+	for _, a := range alphas {
+		pols = append(pols, geovmp.NewPolicySpec(fmt.Sprintf("alpha=%.1f", a),
+			func(seed uint64) geovmp.Policy { return geovmp.Proposed(a, seed) }))
+	}
+	// The baselines frame the frontier: Net-aware anchors the performance
+	// end, Ener-aware the energy end.
+	pols = append(pols,
+		geovmp.NewPolicySpec("Net-aware", func(uint64) geovmp.Policy { return geovmp.NetAware() }),
+		geovmp.NewPolicySpec("Ener-aware", func(uint64) geovmp.Policy { return geovmp.EnerAware() }),
+	)
+
+	set, err := geovmp.NewExperiment(
+		geovmp.WithScenarios(spec),
+		geovmp.WithPolicies(pols...),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("alpha   cost(EUR)  energy(GJ)  worst-resp(s)  mean-resp(s)  cross-DC(GB)")
 	fmt.Println("-----   ---------  ----------  -------------  ------------  ------------")
-	var results []*geovmp.Result
-	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		res, err := geovmp.Compare(spec, geovmp.Proposed(alpha, spec.Seed))
-		if err != nil {
-			log.Fatal(err)
-		}
-		r := res[0]
-		results = append(results, r)
+	for i, a := range alphas {
+		r := set.At(0, i, 0).Result
 		fmt.Printf("%.1f     %9.2f  %10.4f  %13.2f  %12.2f  %12.1f\n",
-			alpha, float64(r.OpCost), r.TotalEnergy.GJ(),
+			a, float64(r.OpCost), r.TotalEnergy.GJ(),
 			r.RespSummary.Max(), r.RespSummary.Mean(), r.CrossBytes.GB())
 	}
-
-	// The baselines frame the frontier: Net-aware anchors the performance
-	// end, Ener-aware the energy end.
-	base, err := geovmp.Compare(spec, geovmp.NetAware(), geovmp.EnerAware())
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println()
-	for _, r := range base {
+	for pi := len(alphas); pi < len(pols); pi++ {
+		r := set.At(0, pi, 0).Result
 		fmt.Printf("%-10s cost=%.2f energy=%.4fGJ worst-resp=%.2fs\n",
-			r.Policy, float64(r.OpCost), r.TotalEnergy.GJ(), r.RespSummary.Max())
+			set.Policies[pi], float64(r.OpCost), r.TotalEnergy.GJ(), r.RespSummary.Max())
 	}
 	fmt.Println("\nhigher alpha -> tighter data locality -> better response;")
 	fmt.Println("lower alpha  -> stronger peak separation in the plane (energy side).")

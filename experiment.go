@@ -1,0 +1,260 @@
+package geovmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"geovmp/internal/config"
+	"geovmp/internal/experiment"
+	"geovmp/internal/network"
+	"geovmp/internal/trace"
+)
+
+// Experiment declares a sweep grid — scenarios x policies x seeds — and
+// executes it on a context-cancellable worker pool, one fresh scenario
+// replica and one fresh policy instance per cell. Results come back in
+// deterministic grid order (scenario-major, then policy, then seed)
+// regardless of how the cells were scheduled.
+//
+// The zero experiment is the paper's evaluation: the Table I scenario under
+// the four methods, one seed. Options widen any axis:
+//
+//	set, err := geovmp.NewExperiment(
+//	    geovmp.WithScenarios(
+//	        geovmp.NewSpec("paper", geovmp.WithScale(0.05)),
+//	        geovmp.NewSpec("no-battery", geovmp.WithScale(0.05),
+//	            geovmp.WithBatteryScale(geovmp.BatteryZero)),
+//	    ),
+//	    geovmp.WithPolicies(geovmp.StandardPolicies(0.9)...),
+//	    geovmp.WithSeeds(5),
+//	    geovmp.WithParallelism(8),
+//	).Run(ctx)
+type Experiment struct {
+	grid experiment.Grid
+	errs []error
+}
+
+// ExperimentOption configures an Experiment under construction.
+type ExperimentOption func(*Experiment)
+
+// PolicySpec names a policy and constructs a fresh instance per grid cell
+// (stateful policies must never be shared between runs). The seed passed to
+// New is the cell's absolute seed.
+type PolicySpec = experiment.PolicySpec
+
+// ResultSet is a sweep's structured outcome: every grid cell with its
+// identity, result or error, plus grouping (Group), per-scenario mean/std
+// aggregation (Aggregate) and deterministic JSON export (JSON, WriteJSON).
+type ResultSet = experiment.Set
+
+// ResultCell is one (scenario, policy, seed) evaluation in a ResultSet.
+type ResultCell = experiment.Cell
+
+// Progress is one completion event of a running sweep, delivered to the
+// WithProgress callback in completion order.
+type Progress = experiment.Progress
+
+// NewExperiment builds an experiment from options. Without options it
+// reproduces the paper's evaluation grid: the Table I scenario, the four
+// methods at alpha 0.9, one seed.
+func NewExperiment(opts ...ExperimentOption) *Experiment {
+	e := &Experiment{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// WithScenarios sets the scenario axis. Each Spec carries its own name and
+// base seed; build variants with NewSpec plus ScenarioOptions, or start
+// from Preset.
+func WithScenarios(specs ...Spec) ExperimentOption {
+	return func(e *Experiment) {
+		e.grid.Scenarios = append(e.grid.Scenarios, specs...)
+	}
+}
+
+// WithPresets appends registered named scenarios (see PresetNames) to the
+// scenario axis. Unknown names surface as an error from Run.
+func WithPresets(names ...string) ExperimentOption {
+	return func(e *Experiment) {
+		for _, n := range names {
+			spec, err := config.Preset(n)
+			if err != nil {
+				e.errs = append(e.errs, err)
+				continue
+			}
+			e.grid.Scenarios = append(e.grid.Scenarios, spec)
+		}
+	}
+}
+
+// WithPolicies sets the policy axis.
+func WithPolicies(specs ...PolicySpec) ExperimentOption {
+	return func(e *Experiment) {
+		e.grid.Policies = append(e.grid.Policies, specs...)
+	}
+}
+
+// WithSeeds widens the seed axis to n consecutive seeds per scenario,
+// starting at each scenario's own base seed.
+func WithSeeds(n int) ExperimentOption {
+	return func(e *Experiment) {
+		if n < 1 {
+			e.errs = append(e.errs, fmt.Errorf("geovmp: WithSeeds(%d): need at least one seed", n))
+			return
+		}
+		offsets := make([]uint64, n)
+		for i := range offsets {
+			offsets[i] = uint64(i)
+		}
+		e.grid.SeedOffsets = offsets
+	}
+}
+
+// WithParallelism caps how many grid cells run concurrently; n <= 0 (the
+// default) selects GOMAXPROCS. Any parallelism yields identical results.
+func WithParallelism(n int) ExperimentOption {
+	return func(e *Experiment) { e.grid.Parallelism = n }
+}
+
+// WithProgress installs a callback invoked after each cell completes —
+// serialized, in completion order — for live sweep reporting.
+func WithProgress(fn func(Progress)) ExperimentOption {
+	return func(e *Experiment) { e.grid.Progress = fn }
+}
+
+// Run executes the grid. Cancelling ctx abandons unfinished cells promptly
+// (runs check the context every simulated hour) and returns the
+// partially-filled ResultSet together with an error wrapping the
+// cancellation cause; completed cells keep their results.
+func (e *Experiment) Run(ctx context.Context) (*ResultSet, error) {
+	if len(e.errs) > 0 {
+		return nil, errors.Join(e.errs...)
+	}
+	g := e.grid
+	if len(g.Scenarios) == 0 {
+		g.Scenarios = []Spec{{}}
+	}
+	if len(g.Policies) == 0 {
+		g.Policies = StandardPolicies(0.9)
+	}
+	return experiment.Run(ctx, g)
+}
+
+// NewPolicySpec wraps a named policy constructor for the policy axis.
+func NewPolicySpec(name string, mk func(seed uint64) Policy) PolicySpec {
+	return PolicySpec{Name: name, New: mk}
+}
+
+// StandardPolicies returns the paper's four methods as per-cell factories
+// in evaluation order: Proposed (at the given alpha, seeded per cell),
+// Ener-aware, Pri-aware, Net-aware.
+func StandardPolicies(alpha float64) []PolicySpec {
+	return []PolicySpec{
+		NewPolicySpec("Proposed", func(seed uint64) Policy { return Proposed(alpha, seed) }),
+		NewPolicySpec("Ener-aware", func(uint64) Policy { return EnerAware() }),
+		NewPolicySpec("Pri-aware", func(uint64) Policy { return PriAware() }),
+		NewPolicySpec("Net-aware", func(uint64) Policy { return NetAware() }),
+	}
+}
+
+// ScenarioOption customizes a Spec during NewSpec construction: fleet scale
+// and sites, topology, workload mix, horizon, forecaster, QoS, warmup and
+// profile-sampling knobs.
+type ScenarioOption = config.Option
+
+// NewSpec builds a named scenario spec from options; the empty option set
+// is the paper's Table I world.
+func NewSpec(name string, opts ...ScenarioOption) Spec { return config.NewSpec(name, opts...) }
+
+// Preset returns a registered named scenario spec: "paper-geo3dc" (the
+// Table I world), "paper-geo3dc-nobattery" (batteries removed), "geo5dc"
+// (five European sites on a great-circle mesh).
+func Preset(name string) (Spec, error) { return config.Preset(name) }
+
+// MustPreset is Preset, panicking on unknown names — for examples and
+// tests.
+func MustPreset(name string) Spec {
+	spec, err := config.Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// PresetNames lists the registered scenario presets.
+func PresetNames() []string { return config.PresetNames() }
+
+// Site describes one data center of a custom fleet (see WithSites).
+type Site = config.Site
+
+// TableISites returns the paper's fleet as a customizable site list.
+func TableISites() []Site { return config.TableISites() }
+
+// Topology is the inter-DC network graph (see WithTopology).
+type Topology = network.Topology
+
+// PaperTopology returns the paper's three-site 100 Gb/s full-mesh backbone.
+func PaperTopology() *Topology { return network.PaperTopology() }
+
+// MeshTopology derives a full-mesh topology from site coordinates with the
+// paper's link speeds.
+func MeshTopology(sites []Site) *Topology { return config.MeshTopology(sites) }
+
+// BatteryZero is the battery-free ablation value for WithBatteryScale.
+const BatteryZero = config.BatteryZero
+
+// Scenario-axis options, re-exported from the config layer.
+
+// WithScale multiplies fleet sizes and energy sources (1.0 = Table I).
+func WithScale(scale float64) ScenarioOption { return config.WithScale(scale) }
+
+// WithSeed sets the scenario's base randomness seed.
+func WithSeed(seed uint64) ScenarioOption { return config.WithSeed(seed) }
+
+// WithHorizon sets the experiment duration (Week, Days, HoursOf).
+func WithHorizon(h Horizon) ScenarioOption { return config.WithHorizon(h) }
+
+// WithVMsPerServer sizes the workload relative to the fleet (default 7).
+func WithVMsPerServer(v float64) ScenarioOption { return config.WithVMsPerServer(v) }
+
+// WithFineStep sets the green-controller period in seconds (paper: 5).
+func WithFineStep(sec float64) ScenarioOption { return config.WithFineStep(sec) }
+
+// WithQoS sets the migration latency guarantee (paper: 0.98).
+func WithQoS(q float64) ScenarioOption { return config.WithQoS(q) }
+
+// WithForecast selects the renewable forecaster.
+func WithForecast(k ForecastKind) ScenarioOption { return config.WithForecast(k) }
+
+// WithBatteryScale additionally scales battery capacity; BatteryZero gives
+// the battery-free ablation.
+func WithBatteryScale(b float64) ScenarioOption { return config.WithBatteryScale(b) }
+
+// WithSites replaces the Table I fleet with a custom site list; the
+// topology defaults to a great-circle mesh over the sites' coordinates.
+func WithSites(sites ...Site) ScenarioOption { return config.WithSites(sites...) }
+
+// WithTopology overrides the inter-DC network topology.
+func WithTopology(t *Topology) ScenarioOption { return config.WithTopology(t) }
+
+// WithClassWeights overrides the workload class mix in class order
+// (websearch, mapreduce, hpc, batch).
+func WithClassWeights(weights ...float64) ScenarioOption {
+	return config.WithClassWeights(weights...)
+}
+
+// WithWarmupSlots sets how many leading slots are excluded from metrics
+// (default 6; negative disables warmup).
+func WithWarmupSlots(n int) ScenarioOption { return config.WithWarmupSlots(n) }
+
+// WithProfileSamples sets the per-slot CPU-profile length policies observe
+// (default 12).
+func WithProfileSamples(n int) ScenarioOption { return config.WithProfileSamples(n) }
+
+// WithWorkload installs a pre-built workload (for example one returned by
+// LoadWorkload) instead of the synthetic generator. The source must be safe
+// for concurrent readers when used in a parallel sweep.
+func WithWorkload(w Workload) ScenarioOption { return config.WithWorkload(trace.Source(w)) }

@@ -1,34 +1,51 @@
 // Package geovmp reproduces "Exploiting CPU-Load and Data Correlations in
 // Multi-Objective VM Placement for Geo-Distributed Data Centers" (Pahlevan,
-// Garcia del Valle, Atienza — DATE 2016) as a runnable Go library.
+// Garcia del Valle, Atienza — DATE 2016) as a runnable Go library, built
+// around a parallel, cancellable, scenario-diverse experiment engine.
 //
-// The package is a facade over the internal implementation:
+// The central type is Experiment: it declares a grid of scenarios x
+// policies x seeds via functional options and executes it on a worker
+// pool, one fresh scenario replica and one fresh policy instance per cell,
+// returning a structured ResultSet in deterministic grid order:
+//
+//	set, err := geovmp.NewExperiment(
+//	    geovmp.WithScenarios(geovmp.NewSpec("paper", geovmp.WithScale(0.05))),
+//	    geovmp.WithPolicies(geovmp.StandardPolicies(0.9)...),
+//	    geovmp.WithSeeds(3),
+//	    geovmp.WithParallelism(8),
+//	).Run(ctx)
+//
+// The building blocks underneath:
 //
 //   - Proposed() builds the paper's two-phase controller: force-directed
 //     embedding of VMs under data-correlation attraction and CPU-load-
 //     correlation repulsion, energy-capacity-capped k-means clustering per
 //     DC, migration revision under the network latency constraint
 //     (Algorithm 2), and correlation-aware local server allocation with
-//     DVFS.
-//   - EnerAware, PriAware and NetAware build the paper's three baselines.
-//   - NewScenario(Spec{...}) constructs the evaluation world of Sect. V:
-//     the Table I fleet (Lisbon / Zurich / Helsinki), PV plants with WCMA
-//     forecasting, lithium-ion batteries at 50% DoD, two-level tariffs,
-//     the full-mesh 100 Gb/s backbone with stochastic BERs, and the
-//     synthetic multi-class workload with bidirectional inter-VM volumes.
-//   - Run simulates one policy over a scenario; Compare runs a set of
-//     policies over identical replicas of a scenario — the paper's
-//     comparison discipline.
+//     DVFS. EnerAware, PriAware and NetAware build the three baselines;
+//     StandardPolicies wraps all four as per-cell factories.
+//   - NewSpec(name, opts...) composes a scenario from ScenarioOptions:
+//     fleet scale, custom Site lists beyond Table I, topology overrides,
+//     workload class mix, forecaster, QoS, warmup and profile-sampling
+//     knobs. Preset returns registered named scenarios ("paper-geo3dc",
+//     "geo5dc", "paper-geo3dc-nobattery"). The zero Spec is the paper's
+//     Sect. V world: the Table I fleet (Lisbon / Zurich / Helsinki), PV
+//     plants with WCMA forecasting, lithium-ion batteries at 50% DoD,
+//     two-level tariffs, the full-mesh 100 Gb/s backbone with stochastic
+//     BERs, and the synthetic multi-class workload.
+//   - NewScenario and Run remain the single-run primitives under the
+//     engine.
 //
-// Minimal use:
+// Everything is deterministic in the seeds: a sweep's ResultSet — and its
+// JSON export — is byte-identical at any parallelism.
 //
-//	res, err := geovmp.Compare(geovmp.Spec{Scale: 0.05, Seed: 42},
-//	    geovmp.Proposed(0.9, 42), geovmp.EnerAware())
-//
-// Everything is deterministic in Spec.Seed.
+// Compare, CompareSeeds and AggregateFigure are deprecated shims over the
+// engine, kept for one release for the pre-engine callers.
 package geovmp
 
 import (
+	"context"
+
 	"geovmp/internal/config"
 	"geovmp/internal/core"
 	"geovmp/internal/policy"
@@ -111,19 +128,29 @@ func Run(sc *Scenario, pol Policy) (*Result, error) { return sim.Run(sc, pol) }
 
 // Compare evaluates each policy on an identical fresh replica of the
 // scenario described by spec — same workload, same network draws, same
-// initial battery state — and returns the results in input order.
+// initial battery state — and returns the results in input order. Each
+// policy value is run exactly once, so passing the same stateful instance
+// twice is not supported.
+//
+// Deprecated: Compare is a shim over the Experiment engine. Use
+// NewExperiment(WithScenarios(spec), WithPolicies(...)).Run(ctx), which
+// adds parallelism, cancellation, multi-scenario grids and structured
+// results.
 func Compare(spec Spec, pols ...Policy) ([]*Result, error) {
-	out := make([]*Result, 0, len(pols))
-	for _, p := range pols {
-		sc, err := NewScenario(spec)
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(sc, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
+	if len(pols) == 0 {
+		return []*Result{}, nil
+	}
+	specs := make([]PolicySpec, len(pols))
+	for i, p := range pols {
+		specs[i] = PolicySpec{Name: p.Name(), New: func(uint64) Policy { return p }}
+	}
+	set, err := NewExperiment(WithScenarios(spec), WithPolicies(specs...)).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(pols))
+	for pi := range pols {
+		out[pi] = set.At(0, pi, 0).Result
 	}
 	return out, nil
 }
@@ -180,20 +207,53 @@ func EmbeddingSVG(ctrl *ProposedController, title string, groupOf func(id int) i
 // spec.Seed, building fresh policies per seed via mkPolicies (stateful
 // policies cannot be reused across runs). It returns one result set per
 // seed, ready for AggregateFigure.
+//
+// Deprecated: CompareSeeds is a shim over the Experiment engine. Use
+// NewExperiment(WithScenarios(spec), WithPolicies(...), WithSeeds(n)) and
+// the returned ResultSet, which add parallelism and cancellation.
 func CompareSeeds(spec Spec, seeds int, mkPolicies func(seed uint64) []Policy) ([][]*Result, error) {
-	var out [][]*Result
-	for k := 0; k < seeds; k++ {
-		s := spec
-		s.Seed = spec.Seed + uint64(k)
-		results, err := Compare(s, mkPolicies(s.Seed)...)
-		if err != nil {
-			return nil, err
+	// Parallelism 1 plus per-seed memoization preserves the legacy
+	// contract exactly: mkPolicies is called once per seed, from one
+	// goroutine at a time, so impure factories behave as they always did.
+	cache := map[uint64][]Policy{}
+	pols := func(seed uint64) []Policy {
+		ps, ok := cache[seed]
+		if !ok {
+			ps = mkPolicies(seed)
+			cache[seed] = ps
 		}
-		out = append(out, results)
+		return ps
 	}
-	return out, nil
+	if seeds <= 0 {
+		return nil, nil
+	}
+	protos := pols(spec.Seed)
+	if len(protos) == 0 {
+		out := make([][]*Result, seeds)
+		for k := range out {
+			out[k] = []*Result{}
+		}
+		return out, nil
+	}
+	specs := make([]PolicySpec, len(protos))
+	for i := range protos {
+		specs[i] = PolicySpec{
+			Name: protos[i].Name(),
+			New:  func(seed uint64) Policy { return pols(seed)[i] },
+		}
+	}
+	set, err := NewExperiment(
+		WithScenarios(spec), WithPolicies(specs...), WithSeeds(seeds),
+		WithParallelism(1),
+	).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return set.SeedRuns(set.Scenarios[0]), nil
 }
 
 // AggregateFigure summarizes multi-seed runs into mean +/- std per policy
 // and headline metric.
+//
+// Deprecated: use ResultSet.Aggregate from an Experiment run instead.
 func AggregateFigure(runs [][]*Result) *Figure { return report.Aggregate(runs) }

@@ -1,0 +1,3 @@
+module geovmp
+
+go 1.24

@@ -10,6 +10,7 @@
 package config
 
 import (
+	"fmt"
 	"math"
 
 	"geovmp/internal/battery"
@@ -18,7 +19,6 @@ import (
 	"geovmp/internal/green"
 	"geovmp/internal/network"
 	"geovmp/internal/power"
-	"geovmp/internal/price"
 	"geovmp/internal/sim"
 	"geovmp/internal/solar"
 	"geovmp/internal/timeutil"
@@ -37,8 +37,13 @@ const (
 	ForecastOracle
 )
 
-// Spec parameterizes scenario construction.
+// Spec parameterizes scenario construction. Zero values select the paper's
+// Table I world; NewSpec plus Options is the composable way to build
+// variants, and Preset returns registered named specs.
 type Spec struct {
+	// Name labels the scenario in results and reports (default
+	// "paper-geo3dc", or the preset's name).
+	Name string
 	// Scale multiplies Table I fleet sizes and energy sources; 1.0 is the
 	// paper's setup, 0.1 a laptop-fast variant with identical structure.
 	Scale float64
@@ -59,9 +64,35 @@ type Spec struct {
 	// BatteryScale additionally scales battery capacity (ablation A4);
 	// 0 means 1.0.
 	BatteryScale float64
+	// Sites replaces the Table I fleet with a custom site list (see
+	// TableISites for the default expressed as one).
+	Sites []Site
+	// Topo overrides the inter-DC topology. Nil derives it: the paper's
+	// backbone for the Table I fleet, a great-circle mesh for custom
+	// Sites.
+	Topo *network.Topology
+	// ClassWeights overrides the synthetic workload's class mix in class
+	// order (websearch, mapreduce, hpc, batch).
+	ClassWeights []float64
+	// WarmupSlots are simulated but excluded from metrics (0 selects the
+	// simulator default of 6; negative disables warmup).
+	WarmupSlots int
+	// ProfileSamples is the per-slot downsampled CPU-profile length the
+	// policies observe (0 selects the simulator default of 12).
+	ProfileSamples int
+	// Workload, when non-nil, replaces the synthetic generator (for
+	// example a replayed trace loaded with trace.LoadReplay). It must be
+	// safe for concurrent readers when used in a parallel sweep.
+	Workload trace.Source
 }
 
+// DefaultScenarioName labels unnamed specs: the paper's Table I world.
+const DefaultScenarioName = "paper-geo3dc"
+
 func (s *Spec) applyDefaults() {
+	if s.Name == "" {
+		s.Name = DefaultScenarioName
+	}
 	if s.Scale == 0 {
 		s.Scale = 1
 	}
@@ -76,28 +107,6 @@ func (s *Spec) applyDefaults() {
 	}
 	if s.BatteryScale == 0 {
 		s.BatteryScale = 1
-	}
-}
-
-// site is one row of Table I plus the geographic models.
-type site struct {
-	name    string
-	servers int
-	pvKWp   float64
-	battKWh float64
-	climate cooling.Climate
-	plant   solar.Plant
-	tariff  price.Tariff
-}
-
-func tableI() []site {
-	return []site{
-		{name: "DC1-Lisbon", servers: 1500, pvKWp: 150, battKWh: 960,
-			climate: cooling.Lisbon(), plant: solar.LisbonPlant(), tariff: price.LisbonTariff()},
-		{name: "DC2-Zurich", servers: 1000, pvKWp: 100, battKWh: 720,
-			climate: cooling.Zurich(), plant: solar.ZurichPlant(), tariff: price.ZurichTariff()},
-		{name: "DC3-Helsinki", servers: 500, pvKWp: 50, battKWh: 480,
-			climate: cooling.Helsinki(), plant: solar.HelsinkiPlant(), tariff: price.HelsinkiTariff()},
 	}
 }
 
@@ -119,27 +128,49 @@ func newForecaster(kind ForecastKind, plant solar.Plant) solar.Forecaster {
 // independent mutable state.
 func Build(spec Spec) (*sim.Scenario, error) {
 	spec.applyDefaults()
-	sites := tableI()
+	sites := spec.Sites
+	topo := spec.Topo
+	if len(sites) == 0 {
+		sites = TableISites()
+		if topo == nil {
+			topo = network.PaperTopology()
+		}
+	}
+	if topo == nil {
+		topo = MeshTopology(sites)
+	}
 	fleet := make(dc.Fleet, len(sites))
 	for i, st := range sites {
-		servers := int(math.Max(1, math.Round(float64(st.servers)*spec.Scale)))
-		plant := st.plant
-		plant.Peak = units.Power(st.pvKWp*spec.Scale) * units.Kilowatt
+		if st.Servers <= 0 {
+			return nil, fmt.Errorf("config: site %d (%q) has no servers", i, st.Name)
+		}
+		switch st.City {
+		case "", "lisbon", "zurich", "helsinki":
+		default:
+			return nil, fmt.Errorf("config: site %d (%q) names unknown city %q (have lisbon, zurich, helsinki; leave empty for the generic models)", i, st.Name, st.City)
+		}
+		st.applyDefaults()
+		climate, plant, tariff := st.models()
+		servers := int(math.Max(1, math.Round(float64(st.Servers)*spec.Scale)))
+		plant.Peak = units.Power(st.PVkWp*spec.Scale) * units.Kilowatt
+		battKWh := st.BattKWh
+		if battKWh <= 0 {
+			battKWh = BatteryZero
+		}
 		bank, err := battery.New(battery.Config{
-			Capacity:   units.Energy(st.battKWh*spec.Scale*spec.BatteryScale) * units.KilowattHour,
+			Capacity:   units.Energy(battKWh*spec.Scale*spec.BatteryScale) * units.KilowattHour,
 			DoD:        0.5,
 			InitialSoC: 0.75,
 		})
 		if err != nil {
 			return nil, err
 		}
-		tariff := st.tariff
 		fleet[i] = &dc.DC{
 			Index:    i,
-			Name:     st.name,
+			Name:     st.Name,
 			Servers:  servers,
 			Model:    power.E5410(),
-			Cooling:  cooling.Site{Climate: st.climate, Model: cooling.DefaultPUE()},
+			Cooling:  cooling.Site{Climate: climate, Model: cooling.DefaultPUE()},
 			Plant:    plant,
 			Bank:     bank,
 			Tariff:   tariff,
@@ -148,25 +179,47 @@ func Build(spec Spec) (*sim.Scenario, error) {
 		}
 	}
 
-	initialVMs := int(math.Round(float64(fleet.TotalServers()) * spec.VMsPerServer))
-	if initialVMs < 10 {
-		initialVMs = 10
+	if n := len(spec.ClassWeights); n > 0 {
+		if n != int(trace.NumClasses) {
+			return nil, fmt.Errorf("config: ClassWeights has %d entries, want %d", n, trace.NumClasses)
+		}
+		positive := false
+		for i, wgt := range spec.ClassWeights {
+			if wgt < 0 {
+				return nil, fmt.Errorf("config: negative class weight %v at %d", wgt, i)
+			}
+			positive = positive || wgt > 0
+		}
+		if !positive {
+			return nil, fmt.Errorf("config: ClassWeights has no positive entry")
+		}
 	}
-	w := trace.New(trace.Config{
-		Seed:       spec.Seed,
-		Horizon:    spec.Horizon,
-		InitialVMs: initialVMs,
-	})
+
+	w := spec.Workload
+	if w == nil {
+		initialVMs := int(math.Round(float64(fleet.TotalServers()) * spec.VMsPerServer))
+		if initialVMs < 10 {
+			initialVMs = 10
+		}
+		w = trace.New(trace.Config{
+			Seed:         spec.Seed,
+			Horizon:      spec.Horizon,
+			InitialVMs:   initialVMs,
+			ClassWeights: spec.ClassWeights,
+		})
+	}
 
 	return &sim.Scenario{
-		Name:        "paper-geo3dc",
-		Fleet:       fleet,
-		Workload:    w,
-		Topo:        network.PaperTopology(),
-		Horizon:     spec.Horizon,
-		Seed:        spec.Seed,
-		QoS:         spec.QoS,
-		FineStepSec: spec.FineStepSec,
+		Name:           spec.Name,
+		Fleet:          fleet,
+		Workload:       w,
+		Topo:           topo,
+		Horizon:        spec.Horizon,
+		Seed:           spec.Seed,
+		QoS:            spec.QoS,
+		ProfileSamples: spec.ProfileSamples,
+		FineStepSec:    spec.FineStepSec,
+		WarmupSlots:    spec.WarmupSlots,
 	}, nil
 }
 

@@ -1,0 +1,410 @@
+// Package experiment is the sweep engine behind the public geovmp.Experiment
+// API: it executes a grid of scenarios x policies x seeds on a
+// context-cancellable worker pool and collects the outcomes into a
+// structured, deterministically-ordered Set.
+//
+// Every grid cell is hermetic — a fresh scenario replica (config.Build) and
+// a fresh policy instance (PolicySpec.New) per cell — so cells can run on
+// any schedule without sharing mutable state, and the result of a sweep is
+// byte-identical whether it ran on one worker or sixteen.
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"geovmp/internal/config"
+	"geovmp/internal/metrics"
+	"geovmp/internal/policy"
+	"geovmp/internal/report"
+	"geovmp/internal/sim"
+)
+
+// PolicySpec names a policy and constructs a fresh instance per grid cell.
+// Fresh construction matters: the proposed controller carries per-slot
+// state, so an instance must never be shared between runs.
+type PolicySpec struct {
+	Name string
+	New  func(seed uint64) policy.Policy
+}
+
+// Progress is one completion event of a running sweep.
+type Progress struct {
+	Done  int // cells finished so far (including failed ones)
+	Total int // total cells in the grid
+	Cell  *Cell
+}
+
+// Grid declares a sweep: every scenario is run under every policy for every
+// seed offset.
+type Grid struct {
+	// Scenarios are the scenario specs, each carrying its own name and
+	// base seed.
+	Scenarios []config.Spec
+	// Policies are the policy factories.
+	Policies []PolicySpec
+	// SeedOffsets are added to each scenario's base seed; empty means the
+	// single offset 0.
+	SeedOffsets []uint64
+	// Parallelism caps the number of concurrently running cells; <= 0
+	// selects GOMAXPROCS.
+	Parallelism int
+	// Progress, when non-nil, is called after each cell completes. Calls
+	// are serialized but arrive in completion order, not grid order.
+	Progress func(Progress)
+}
+
+// Cell is one (scenario, policy, seed) evaluation of the grid.
+type Cell struct {
+	Index    int    `json:"-"`
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	Seed     uint64 `json:"seed"` // absolute seed: scenario base + offset
+	Result   *sim.Result
+	Err      error
+}
+
+// Set is the structured outcome of a sweep: cell identities are filled for
+// the whole grid even when a run was cancelled, so partial sets stay
+// addressable. Cells are in deterministic grid order: scenario-major, then
+// policy, then seed offset.
+type Set struct {
+	Scenarios   []string
+	Policies    []string
+	SeedOffsets []uint64
+	Cells       []Cell
+}
+
+// grid index of (scenario si, policy pi, seed offset ki).
+func (s *Set) index(si, pi, ki int) int {
+	return (si*len(s.Policies)+pi)*len(s.SeedOffsets) + ki
+}
+
+// At returns the cell at scenario index si, policy index pi and seed offset
+// index ki.
+func (s *Set) At(si, pi, ki int) *Cell { return &s.Cells[s.index(si, pi, ki)] }
+
+// scenarioIndex returns the index of the named scenario, or -1.
+func (s *Set) scenarioIndex(name string) int {
+	for i, n := range s.Scenarios {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Results returns the completed results for one scenario and policy across
+// all seeds, in seed-offset order. Failed or cancelled cells are skipped.
+// Policy names may repeat in a grid (the deprecated shims rely on
+// positional access); name lookup resolves to the first match — use At for
+// positional access when names collide.
+func (s *Set) Results(scenario, policyName string) []*sim.Result {
+	si := s.scenarioIndex(scenario)
+	if si < 0 {
+		return nil
+	}
+	var out []*sim.Result
+	for pi, p := range s.Policies {
+		if p != policyName {
+			continue
+		}
+		for ki := range s.SeedOffsets {
+			if c := s.At(si, pi, ki); c.Result != nil {
+				out = append(out, c.Result)
+			}
+		}
+		break
+	}
+	return out
+}
+
+// SeedRuns returns one scenario's results in the legacy [][]*Result shape —
+// one row per seed offset, one column per policy — ready for
+// report.Aggregate and report.All. Rows with missing cells keep nil holes
+// removed; a fully-failed row is dropped.
+func (s *Set) SeedRuns(scenario string) [][]*sim.Result {
+	si := s.scenarioIndex(scenario)
+	if si < 0 {
+		return nil
+	}
+	var runs [][]*sim.Result
+	for ki := range s.SeedOffsets {
+		var row []*sim.Result
+		for pi := range s.Policies {
+			if c := s.At(si, pi, ki); c.Result != nil {
+				row = append(row, c.Result)
+			}
+		}
+		if len(row) > 0 {
+			runs = append(runs, row)
+		}
+	}
+	return runs
+}
+
+// Group buckets the completed cells by an arbitrary key — for example by
+// scenario, by policy, or by scenario+policy.
+func (s *Set) Group(key func(*Cell) string) map[string][]*Cell {
+	out := map[string][]*Cell{}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Result == nil {
+			continue
+		}
+		k := key(c)
+		out[k] = append(out[k], c)
+	}
+	return out
+}
+
+// Aggregate renders one scenario's mean +/- std per policy and headline
+// metric across seeds. Rows are keyed by the grid's policy names (one row
+// per PolicySpec), so variant grids — several specs constructing the same
+// underlying controller under different names — aggregate per variant.
+func (s *Set) Aggregate(scenario string) *report.Figure {
+	f := &report.Figure{
+		ID:      "aggregate",
+		Title:   fmt.Sprintf("%s: Multi-seed aggregate over %d seeds", scenario, len(s.SeedOffsets)),
+		Headers: []string{"method", "cost mean (EUR)", "cost std", "energy mean (GJ)", "energy std", "worst resp mean (s)", "worst resp std"},
+	}
+	si := s.scenarioIndex(scenario)
+	if si < 0 {
+		return f
+	}
+	for pi, name := range s.Policies {
+		var cost, energy, resp metrics.Summary
+		for ki := range s.SeedOffsets {
+			c := s.At(si, pi, ki)
+			if c.Result == nil {
+				continue
+			}
+			cost.Add(float64(c.Result.OpCost))
+			energy.Add(c.Result.TotalEnergy.GJ())
+			resp.Add(c.Result.RespSummary.Max())
+		}
+		if cost.N() == 0 {
+			continue
+		}
+		f.Rows = append(f.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", cost.Mean()), fmt.Sprintf("%.2f", cost.Std()),
+			fmt.Sprintf("%.4f", energy.Mean()), fmt.Sprintf("%.4f", energy.Std()),
+			fmt.Sprintf("%.2f", resp.Mean()), fmt.Sprintf("%.2f", resp.Std()),
+		})
+	}
+	return f
+}
+
+// Err returns nil when every cell completed, and otherwise an error
+// summarizing how many cells failed (first failure wrapped).
+func (s *Set) Err() error {
+	var first error
+	failed := 0
+	for i := range s.Cells {
+		if s.Cells[i].Err != nil {
+			failed++
+			if first == nil {
+				first = s.Cells[i].Err
+			}
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiment: %d/%d cells failed: %w", failed, len(s.Cells), first)
+}
+
+// cellJSON is the stable flattened export schema: one row per cell with the
+// headline metrics.
+type cellJSON struct {
+	Scenario          string  `json:"scenario"`
+	Policy            string  `json:"policy"`
+	Seed              uint64  `json:"seed"`
+	Error             string  `json:"error,omitempty"`
+	CostEUR           float64 `json:"cost_eur"`
+	EnergyGJ          float64 `json:"energy_gj"`
+	WorstRespS        float64 `json:"worst_resp_s"`
+	MeanRespS         float64 `json:"mean_resp_s"`
+	Migrations        int     `json:"migrations"`
+	MigRejected       int     `json:"mig_rejected"`
+	MeanActiveServers float64 `json:"mean_active_servers"`
+	GridKWh           float64 `json:"grid_kwh"`
+	RenewableUsedKWh  float64 `json:"renewable_used_kwh"`
+	RenewableLostKWh  float64 `json:"renewable_lost_kwh"`
+	BatteryOutKWh     float64 `json:"battery_out_kwh"`
+	IntraGB           float64 `json:"intra_gb"`
+	CrossGB           float64 `json:"cross_gb"`
+}
+
+// JSON renders the set as indented JSON: the grid axes plus one flattened
+// row per cell. The encoding is deterministic in the grid, so two sweeps of
+// the same grid produce byte-identical output regardless of parallelism.
+func (s *Set) JSON() ([]byte, error) {
+	type setJSON struct {
+		Scenarios   []string   `json:"scenarios"`
+		Policies    []string   `json:"policies"`
+		SeedOffsets []uint64   `json:"seed_offsets"`
+		Cells       []cellJSON `json:"cells"`
+	}
+	out := setJSON{
+		Scenarios:   s.Scenarios,
+		Policies:    s.Policies,
+		SeedOffsets: s.SeedOffsets,
+		Cells:       make([]cellJSON, len(s.Cells)),
+	}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		row := cellJSON{Scenario: c.Scenario, Policy: c.Policy, Seed: c.Seed}
+		if c.Err != nil {
+			row.Error = c.Err.Error()
+		}
+		if r := c.Result; r != nil {
+			row.CostEUR = float64(r.OpCost)
+			row.EnergyGJ = r.TotalEnergy.GJ()
+			row.WorstRespS = r.RespSummary.Max()
+			row.MeanRespS = r.RespSummary.Mean()
+			row.Migrations = r.Migrations
+			row.MigRejected = r.MigRejected
+			row.MeanActiveServers = r.MeanActiveServers
+			row.GridKWh = r.GridEnergy.KWh()
+			row.RenewableUsedKWh = r.RenewableUsed.KWh()
+			row.RenewableLostKWh = r.RenewableLost.KWh()
+			row.BatteryOutKWh = r.BatteryOut.KWh()
+			row.IntraGB = r.IntraBytes.GB()
+			row.CrossGB = r.CrossBytes.GB()
+		}
+		out.Cells[i] = row
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// WriteJSON stores the JSON export at path.
+func (s *Set) WriteJSON(path string) error {
+	b, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Run executes the grid. The returned Set always covers the full grid;
+// cells that failed or were cancelled carry their error instead of a
+// result. The returned error is nil only when every cell completed — a
+// cancelled sweep returns the partially-filled Set together with an error
+// wrapping ctx's cause.
+func Run(ctx context.Context, g Grid) (*Set, error) {
+	if len(g.Scenarios) == 0 {
+		return nil, fmt.Errorf("experiment: no scenarios")
+	}
+	if len(g.Policies) == 0 {
+		return nil, fmt.Errorf("experiment: no policies")
+	}
+	for _, p := range g.Policies {
+		if p.New == nil {
+			return nil, fmt.Errorf("experiment: policy %q has no constructor", p.Name)
+		}
+	}
+	offsets := g.SeedOffsets
+	if len(offsets) == 0 {
+		offsets = []uint64{0}
+	}
+	workers := g.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	set := &Set{
+		Scenarios:   make([]string, len(g.Scenarios)),
+		Policies:    make([]string, len(g.Policies)),
+		SeedOffsets: append([]uint64(nil), offsets...),
+	}
+	seen := make(map[string]bool, len(g.Scenarios))
+	for i, spec := range g.Scenarios {
+		name := spec.Name
+		if name == "" {
+			name = config.DefaultScenarioName
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("experiment: duplicate scenario name %q (name-based Set accessors would hide all but the first)", name)
+		}
+		seen[name] = true
+		set.Scenarios[i] = name
+	}
+	for i, p := range g.Policies {
+		set.Policies[i] = p.Name
+	}
+
+	total := len(g.Scenarios) * len(g.Policies) * len(offsets)
+	set.Cells = make([]Cell, total)
+	for si := range g.Scenarios {
+		for pi := range g.Policies {
+			for ki, off := range offsets {
+				idx := set.index(si, pi, ki)
+				set.Cells[idx] = Cell{
+					Index:    idx,
+					Scenario: set.Scenarios[si],
+					Policy:   set.Policies[pi],
+					Seed:     g.Scenarios[si].Seed + off,
+				}
+			}
+		}
+	}
+	if workers > total {
+		workers = total
+	}
+
+	jobs := make(chan int, total)
+	for idx := 0; idx < total; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	perPolicy := len(offsets)
+	perScenario := len(g.Policies) * perPolicy
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				cell := &set.Cells[idx]
+				if err := ctx.Err(); err != nil {
+					cell.Err = err
+				} else {
+					si := idx / perScenario
+					pi := (idx % perScenario) / perPolicy
+					cell.Result, cell.Err = runCell(ctx, g.Scenarios[si], g.Policies[pi], cell.Seed)
+				}
+				if g.Progress != nil {
+					mu.Lock()
+					done++
+					g.Progress(Progress{Done: done, Total: total, Cell: cell})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return set, set.Err()
+}
+
+// runCell evaluates one grid cell on fresh state.
+func runCell(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64) (*sim.Result, error) {
+	spec.Seed = seed
+	sc, err := config.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	pol := ps.New(seed)
+	if pol == nil {
+		return nil, fmt.Errorf("experiment: policy %q constructor returned nil", ps.Name)
+	}
+	return sim.RunCtx(ctx, sc, pol)
+}

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"geovmp/internal/alloc"
@@ -153,6 +154,13 @@ func (r *Result) MeanResp() float64 { return r.RespSummary.Mean() }
 
 // Run simulates pol over sc.
 func Run(sc *Scenario, pol policy.Policy) (*Result, error) {
+	return RunCtx(context.Background(), sc, pol)
+}
+
+// RunCtx simulates pol over sc, checking ctx once per hour slot so a
+// cancelled sweep abandons the run promptly instead of finishing the
+// horizon. A cancelled run returns ctx's error and no result.
+func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, error) {
 	sc.applyDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -177,6 +185,9 @@ func Run(sc *Scenario, pol policy.Policy) (*Result, error) {
 	var activeServerSum float64
 
 	for sl := timeutil.Slot(0); sl < sc.Horizon.Slots; sl++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ids := w.ActiveVMs(sl)
 		// Drop departed VMs from the carried placement.
 		activeSet := make(map[int]bool, len(ids))
@@ -210,7 +221,7 @@ func Run(sc *Scenario, pol policy.Policy) (*Result, error) {
 			Current:       current,
 			Profiles:      ps,
 			Volumes:       dm,
-			VMEnergy:      vmEnergies(w, fleet, ids, ps, sl),
+			VMEnergy:      vmEnergies(fleet, ids, ps, sl),
 			Image:         imageSizes(w, ids),
 			DCs:           fleet,
 			Prices:        make([]units.Price, n),
@@ -353,7 +364,7 @@ func Run(sc *Scenario, pol policy.Policy) (*Result, error) {
 // vmEnergies predicts each VM's next-slot facility energy: mean utilization
 // times the fleet server's fully-loaded per-core power, times the mean PUE
 // across sites.
-func vmEnergies(w trace.Source, fleet dc.Fleet, ids []int, ps *correlation.ProfileSet, sl timeutil.Slot) map[int]float64 {
+func vmEnergies(fleet dc.Fleet, ids []int, ps *correlation.ProfileSet, sl timeutil.Slot) map[int]float64 {
 	perCore := float64(fleet[0].Model.MarginalPower() + fleet[0].Model.IdleShare())
 	var pue float64
 	for _, d := range fleet {
