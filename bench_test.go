@@ -8,6 +8,8 @@ package geovmp
 
 import (
 	"context"
+	"encoding/json"
+	"os"
 	"testing"
 )
 
@@ -260,7 +262,12 @@ func BenchmarkAblationForecast(b *testing.B) {
 // multi-backend) must beat this trajectory. Reported: cells per second and
 // the proposed method's mean cost across seeds, so both throughput and the
 // reproduction's shape are tracked.
+//
+// When GEOVMP_BENCH_JSON names a path, the headline numbers are also
+// written there as a machine-readable artifact (see PERFORMANCE.md), so CI
+// logs carry the perf trajectory across PRs.
 func BenchmarkExperimentSweep(b *testing.B) {
+	var meanCost, cellsPerSec float64
 	for i := 0; i < b.N; i++ {
 		set, err := NewExperiment(
 			WithScenarios(benchSpec()),
@@ -270,11 +277,41 @@ func BenchmarkExperimentSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		var meanCost float64
+		meanCost = 0
 		for _, r := range set.Results(set.Scenarios[0], "Proposed") {
 			meanCost += float64(r.OpCost)
 		}
-		b.ReportMetric(meanCost/3, "eur-proposed-mean")
-		b.ReportMetric(float64(len(set.Cells))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		meanCost /= 3
+		cellsPerSec = float64(len(set.Cells)) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(meanCost, "eur-proposed-mean")
+		b.ReportMetric(cellsPerSec, "cells/s")
+	}
+	if path := os.Getenv("GEOVMP_BENCH_JSON"); path != "" && b.N > 0 {
+		writeBenchArtifact(b, path, meanCost, cellsPerSec)
+	}
+}
+
+// writeBenchArtifact stores the sweep benchmark's headline numbers as JSON.
+func writeBenchArtifact(b *testing.B, path string, meanCost, cellsPerSec float64) {
+	b.Helper()
+	artifact := struct {
+		Benchmark       string  `json:"benchmark"`
+		N               int     `json:"n"`
+		CellsPerSec     float64 `json:"cells_per_sec"`
+		ProposedMeanEUR float64 `json:"policy_mean_cost_eur_proposed"`
+		NsPerOp         float64 `json:"ns_per_op"`
+	}{
+		Benchmark:       "BenchmarkExperimentSweep",
+		N:               b.N,
+		CellsPerSec:     cellsPerSec,
+		ProposedMeanEUR: meanCost,
+		NsPerOp:         float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}
+	out, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

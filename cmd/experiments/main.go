@@ -9,6 +9,10 @@
 //	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast]
 //	            [-scale 0.05] [-seed 42] [-seeds 1] [-days 7] [-finestep 60]
 //	            [-par 0] [-out results] [-json results/cells.json]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// The profiling flags write pprof profiles covering the sweep — the fastest
+// way to see where a configuration spends its time (`go tool pprof`).
 //
 // The paper's full configuration is -scale 1 -days 7 -finestep 5; the
 // defaults trade fleet size for wall-clock time while preserving the
@@ -21,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"geovmp"
@@ -38,7 +44,50 @@ var (
 	seeds    = flag.Int("seeds", 1, "number of seeds for the multi-seed aggregate (figs only)")
 	par      = flag.Int("par", 0, "max concurrent runs (0 = GOMAXPROCS)")
 	jsonOut  = flag.String("json", "", "write the figures sweep's ResultSet as JSON to this path")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this path")
+	memProf  = flag.String("memprofile", "", "write a heap profile at exit to this path")
 )
+
+// startProfiles begins CPU profiling (when requested) and returns a
+// function writing the requested profiles at exit.
+func startProfiles() (stop func(), err error) {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProf != "" {
+		prev := stop
+		stop = func() {
+			if prev != nil {
+				prev()
+			}
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	if stop == nil {
+		stop = func() {}
+	}
+	return stop, nil
+}
 
 // baseOpts are the scenario options shared by every experiment.
 func baseOpts() []geovmp.ScenarioOption {
@@ -67,8 +116,12 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	stopProfiles, err := startProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 	start := time.Now()
-	var err error
 	switch *expName {
 	case "all":
 		err = runFigures(ctx, true)
@@ -92,9 +145,11 @@ func main() {
 	case "forecast":
 		err = runForecast(ctx)
 	default:
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
 		os.Exit(2)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

@@ -185,6 +185,22 @@ func ExportWorkload(w Workload, dir string, slots Horizon, samples int) error {
 // Scenario.Workload to drive experiments with it.
 func LoadWorkload(dir string) (Workload, error) { return trace.LoadReplay(dir) }
 
+// CompileWorkload materializes any workload into immutable flat per-slot
+// tables — downsampled profiles, fine-step utilization rows, volume entry
+// lists — that the simulator consumes without synthesizing or allocating in
+// its hot loops. samples is the per-slot profile length and fineStepSec the
+// green-controller period the tables are aligned with; pass 0 for the
+// simulator defaults (12 and 5 s).
+//
+// The experiment engine compiles each scenario x seed's workload
+// automatically and shares it across that column's policy runs; call this
+// only to pre-compile a workload you inject with WithWorkload under
+// non-default WithProfileSamples / WithFineStep settings, or to reuse one
+// compiled trace across many experiments.
+func CompileWorkload(w Workload, samples int, fineStepSec float64) Workload {
+	return trace.Compile(w, trace.CompileOptions{Samples: samples, FineStepSec: fineStepSec})
+}
+
 // Figures regenerates the paper's Table I and Figs. 1-6 from a result set
 // produced over sc (or an identical scenario replica).
 func Figures(sc *Scenario, results []*Result) []*Figure {

@@ -25,7 +25,8 @@
 package alloc
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"geovmp/internal/correlation"
 	"geovmp/internal/power"
@@ -72,22 +73,28 @@ func pack(ids []int, ps *correlation.ProfileSet, model *power.ServerModel, maxSe
 	capTop := model.MaxCapacity()
 	samples := ps.Samples()
 
-	// First-fit-decreasing order by individual peak; ties by id.
+	// First-fit-decreasing order by individual peak; ties by id (a total
+	// order, so the sort's permutation is unique and algorithm-independent).
 	order := append([]int(nil), ids...)
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := ps.Peak(order[a]), ps.Peak(order[b])
-		if pa != pb {
-			return pa > pb
+	slices.SortFunc(order, func(a, b int) int {
+		pa, pb := ps.Peak(a), ps.Peak(b)
+		switch {
+		case pa > pb:
+			return -1
+		case pa < pb:
+			return 1
 		}
-		return order[a] < order[b]
+		return cmp.Compare(a, b)
 	})
 
 	var res Result
-	admit := func(srv *ServerAlloc, id int) (float64, bool) {
+	// The VM's profile is hoisted out of the first-fit scan: admit runs
+	// once per candidate server, and re-fetching the row there dominated
+	// the packing cost.
+	admit := func(srv *ServerAlloc, id int, prof []float64, profLen int) (float64, bool) {
 		if corrAware {
-			prof := ps.Profile(id)
 			peak := 0.0
-			for t := 0; t < samples && t < len(prof); t++ {
+			for t := 0; t < profLen; t++ {
 				if s := srv.aggregate[t] + prof[t]; s > peak {
 					peak = s
 				}
@@ -97,22 +104,30 @@ func pack(ids []int, ps *correlation.ProfileSet, model *power.ServerModel, maxSe
 		peak := srv.Peak + ps.Peak(id)
 		return peak, peak <= capTop+1e-9
 	}
-	place := func(srv *ServerAlloc, id int, peak float64) {
+	place := func(srv *ServerAlloc, id int, prof []float64, profLen int, peak float64) {
 		srv.VMs = append(srv.VMs, id)
 		srv.Peak = peak
 		if corrAware {
-			prof := ps.Profile(id)
-			for t := 0; t < samples && t < len(prof); t++ {
+			for t := 0; t < profLen; t++ {
 				srv.aggregate[t] += prof[t]
 			}
 		}
 	}
 
 	for _, id := range order {
+		var prof []float64
+		profLen := 0
+		if corrAware {
+			prof = ps.Profile(id)
+			profLen = len(prof)
+			if profLen > samples {
+				profLen = samples
+			}
+		}
 		placed := false
 		for s := range res.Servers {
-			if peak, ok := admit(&res.Servers[s], id); ok {
-				place(&res.Servers[s], id, peak)
+			if peak, ok := admit(&res.Servers[s], id, prof, profLen); ok {
+				place(&res.Servers[s], id, prof, profLen, peak)
 				placed = true
 				break
 			}
@@ -122,8 +137,8 @@ func pack(ids []int, ps *correlation.ProfileSet, model *power.ServerModel, maxSe
 		}
 		if len(res.Servers) < maxServers {
 			srv := ServerAlloc{aggregate: make([]float64, samples)}
-			peak, _ := admit(&srv, id)
-			place(&srv, id, peak)
+			peak, _ := admit(&srv, id, prof, profLen)
+			place(&srv, id, prof, profLen, peak)
 			res.Servers = append(res.Servers, srv)
 			continue
 		}
@@ -139,8 +154,8 @@ func pack(ids []int, ps *correlation.ProfileSet, model *power.ServerModel, maxSe
 			// open one anyway and flag it.
 			res.Servers = append(res.Servers, ServerAlloc{aggregate: make([]float64, samples)})
 		}
-		peak, _ := admit(&res.Servers[best], id)
-		place(&res.Servers[best], id, peak)
+		peak, _ := admit(&res.Servers[best], id, prof, profLen)
+		place(&res.Servers[best], id, prof, profLen, peak)
 		res.Overflowed++
 	}
 

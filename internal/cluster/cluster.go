@@ -24,8 +24,9 @@
 package cluster
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"geovmp/internal/embed"
 )
@@ -104,15 +105,21 @@ func Run(items []Item, cfg Config) Result {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := items[order[a]], items[order[b]]
-		if ia.Load != ib.Load {
-			return ia.Load > ib.Load
+	slices.SortFunc(order, func(a, b int) int {
+		ia, ib := items[a], items[b]
+		switch {
+		case ia.Load > ib.Load:
+			return -1
+		case ia.Load < ib.Load:
+			return 1
 		}
-		return ia.ID < ib.ID
+		return cmp.Compare(ia.ID, ib.ID)
 	})
 
-	res := Result{Assign: make(map[int]int, len(items))}
+	// Assignments are tracked in a slice keyed by item index during the
+	// iterations; the id-keyed result map is materialized once at the end.
+	assign := make([]int, len(items))
+	res := Result{}
 	var loads []float64
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		res.Iters = iter + 1
@@ -144,15 +151,15 @@ func Run(items []Item, cfg Config) Result {
 					}
 				}
 			}
-			res.Assign[it.ID] = best
+			assign[idx] = best
 			loads[best] += it.Load
 		}
 
 		// Recompute centroids; empty clusters keep their position.
 		next := make([]embed.Point, cfg.K)
 		counts := make([]int, cfg.K)
-		for _, it := range items {
-			c := res.Assign[it.ID]
+		for i, it := range items {
+			c := assign[i]
 			next[c].X += it.Pos.X
 			next[c].Y += it.Pos.Y
 			counts[c]++
@@ -171,6 +178,10 @@ func Run(items []Item, cfg Config) Result {
 		if moved < cfg.Converge {
 			break
 		}
+	}
+	res.Assign = make(map[int]int, len(items))
+	for i, it := range items {
+		res.Assign[it.ID] = assign[i]
 	}
 	res.Centroids = cents
 	res.LoadPer = loads

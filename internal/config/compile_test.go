@@ -1,0 +1,144 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+
+	"geovmp/internal/core"
+	"geovmp/internal/policy"
+	"geovmp/internal/sim"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
+)
+
+// compileSpec returns a reduced variant of a preset for the equivalence
+// runs: small fleet, short horizon, coarse fine step.
+func compileSpec(t *testing.T, preset string, seed uint64) Spec {
+	t.Helper()
+	spec, err := Preset(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = 0.01
+	spec.Seed = seed
+	spec.Horizon = timeutil.Hours(8)
+	spec.FineStepSec = 300
+	return spec
+}
+
+// runWith builds a fresh scenario for spec with the given workload (nil
+// selects the synthetic generator) and simulates the proposed controller —
+// the policy exercising every observation path: profiles, volumes,
+// energies, images and the fine loop.
+func runWith(t *testing.T, spec Spec, w trace.Source, env *sim.Environment) *sim.Result {
+	t.Helper()
+	spec.Workload = w
+	sc, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Env = env
+	res, err := sim.Run(sc, core.New(0.9, spec.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCompiledMatchesSynthesized is the compiled-trace oracle: simulating
+// over trace.Compile(w) must reproduce the exact Result — cost, energy,
+// response samples, migrations, series, placements — of simulating over the
+// live synthetic workload, across presets and seeds. The compiled
+// environment tables must be equally invisible.
+func TestCompiledMatchesSynthesized(t *testing.T) {
+	for _, preset := range []string{"paper-geo3dc", "geo5dc"} {
+		for _, seed := range []uint64{7, 19} {
+			spec := compileSpec(t, preset, seed)
+
+			live := runWith(t, spec, nil, nil)
+			compiled, err := CompileWorkload(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromCompiled := runWith(t, spec, compiled, nil)
+			if !reflect.DeepEqual(live, fromCompiled) {
+				t.Errorf("%s seed %d: compiled-trace run differs from live workload run", preset, seed)
+			}
+
+			// Environment tables on top must not change a single bit either.
+			sc, err := Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, spec.FineStepSec)
+			withEnv := runWith(t, spec, compiled, env)
+			if !reflect.DeepEqual(live, withEnv) {
+				t.Errorf("%s seed %d: compiled-environment run differs from live run", preset, seed)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesSynthesizedEnerAware covers the plain-FFD local phase
+// and the no-embedding observation pattern on a second policy.
+func TestCompiledMatchesSynthesizedEnerAware(t *testing.T) {
+	spec := compileSpec(t, "paper-geo3dc", 11)
+	build := func(w trace.Source) *sim.Result {
+		spec.Workload = w
+		sc, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sc, policy.EnerAware{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	live := build(nil)
+	compiled, err := CompileWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, build(compiled)) {
+		t.Error("compiled-trace run differs from live run under Ener-aware")
+	}
+}
+
+// TestCompileWorkloadIdempotent asserts recompiling a compiled trace with
+// the same parameters returns it unchanged.
+func TestCompileWorkloadIdempotent(t *testing.T) {
+	spec := compileSpec(t, "paper-geo3dc", 3)
+	c1, err := CompileWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload = c1
+	c2, err := CompileWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("recompiling a compatible compiled trace should be the identity")
+	}
+}
+
+// TestNewWorkloadMatchesBuild asserts the standalone workload constructor
+// sizes the workload exactly like Build does.
+func TestNewWorkloadMatchesBuild(t *testing.T) {
+	spec := compileSpec(t, "geo5dc", 5)
+	w, err := NewWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumVMs() != sc.Workload.NumVMs() {
+		t.Fatalf("NewWorkload VMs = %d, Build's = %d", w.NumVMs(), sc.Workload.NumVMs())
+	}
+	if w.Slots() != sc.Workload.Slots() {
+		t.Fatalf("NewWorkload slots = %d, Build's = %d", w.Slots(), sc.Workload.Slots())
+	}
+}

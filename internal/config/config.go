@@ -54,10 +54,14 @@ type Spec struct {
 	// VMsPerServer sizes the workload relative to the fleet (default 7
 	// initial VMs per server).
 	VMsPerServer float64
-	// FineStepSec is the green controller period (default 5 s; tests use
-	// 60 s for speed).
+	// FineStepSec is the green controller period (default 5 s, the
+	// paper's; tests use 60 s for speed). Any non-positive value selects
+	// the default — a zero-length step cannot be simulated.
 	FineStepSec float64
-	// QoS is the migration latency guarantee (default 0.98).
+	// QoS is the migration latency guarantee (default 0.98). Zero means
+	// unset; a negative value disables the guarantee entirely (the
+	// per-link migration budget spans the whole slot), mirroring
+	// WarmupSlots' negative-disables convention.
 	QoS float64
 	// Forecast selects the renewable forecaster (default WCMA).
 	Forecast ForecastKind
@@ -78,7 +82,9 @@ type Spec struct {
 	// simulator default of 6; negative disables warmup).
 	WarmupSlots int
 	// ProfileSamples is the per-slot downsampled CPU-profile length the
-	// policies observe (0 selects the simulator default of 12).
+	// policies observe (0 selects the simulator default of 12; negative
+	// gives the controllers empty profiles — the blind-controller
+	// ablation).
 	ProfileSamples int
 	// Workload, when non-nil, replaces the synthetic generator (for
 	// example a replayed trace loaded with trace.LoadReplay). It must be
@@ -151,7 +157,7 @@ func Build(spec Spec) (*sim.Scenario, error) {
 		}
 		st.applyDefaults()
 		climate, plant, tariff := st.models()
-		servers := int(math.Max(1, math.Round(float64(st.Servers)*spec.Scale)))
+		servers := scaledSiteServers(st, spec.Scale)
 		plant.Peak = units.Power(st.PVkWp*spec.Scale) * units.Kilowatt
 		battKWh := st.BattKWh
 		if battKWh <= 0 {
@@ -179,34 +185,15 @@ func Build(spec Spec) (*sim.Scenario, error) {
 		}
 	}
 
-	if n := len(spec.ClassWeights); n > 0 {
-		if n != int(trace.NumClasses) {
-			return nil, fmt.Errorf("config: ClassWeights has %d entries, want %d", n, trace.NumClasses)
-		}
-		positive := false
-		for i, wgt := range spec.ClassWeights {
-			if wgt < 0 {
-				return nil, fmt.Errorf("config: negative class weight %v at %d", wgt, i)
-			}
-			positive = positive || wgt > 0
-		}
-		if !positive {
-			return nil, fmt.Errorf("config: ClassWeights has no positive entry")
-		}
+	if err := validateClassWeights(spec.ClassWeights); err != nil {
+		return nil, err
 	}
-
 	w := spec.Workload
 	if w == nil {
-		initialVMs := int(math.Round(float64(fleet.TotalServers()) * spec.VMsPerServer))
-		if initialVMs < 10 {
-			initialVMs = 10
+		var err error
+		if w, err = newWorkload(spec, fleet.TotalServers()); err != nil {
+			return nil, err
 		}
-		w = trace.New(trace.Config{
-			Seed:         spec.Seed,
-			Horizon:      spec.Horizon,
-			InitialVMs:   initialVMs,
-			ClassWeights: spec.ClassWeights,
-		})
 	}
 
 	return &sim.Scenario{
@@ -227,3 +214,96 @@ func Build(spec Spec) (*sim.Scenario, error) {
 // near-zero battery (exactly zero capacity would divide the C-rate away, so
 // use a vanishingly small bank).
 const BatteryZero = 1e-6
+
+// validateClassWeights checks the optional class-mix override.
+func validateClassWeights(weights []float64) error {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	if n != int(trace.NumClasses) {
+		return fmt.Errorf("config: ClassWeights has %d entries, want %d", n, trace.NumClasses)
+	}
+	positive := false
+	for i, wgt := range weights {
+		if wgt < 0 {
+			return fmt.Errorf("config: negative class weight %v at %d", wgt, i)
+		}
+		positive = positive || wgt > 0
+	}
+	if !positive {
+		return fmt.Errorf("config: ClassWeights has no positive entry")
+	}
+	return nil
+}
+
+// newWorkload synthesizes the spec's workload for a fleet of totalServers.
+// Callers have validated ClassWeights.
+func newWorkload(spec Spec, totalServers int) (trace.Source, error) {
+	initialVMs := int(math.Round(float64(totalServers) * spec.VMsPerServer))
+	if initialVMs < 10 {
+		initialVMs = 10
+	}
+	return trace.New(trace.Config{
+		Seed:         spec.Seed,
+		Horizon:      spec.Horizon,
+		InitialVMs:   initialVMs,
+		ClassWeights: spec.ClassWeights,
+	}), nil
+}
+
+// scaledSiteServers is the one place the per-site server scaling lives:
+// Build sizes the fleet with it and NewWorkload sizes the workload, so the
+// two can never drift apart.
+func scaledSiteServers(st Site, scale float64) int {
+	return int(math.Max(1, math.Round(float64(st.Servers)*scale)))
+}
+
+// scaledServers totals scaledSiteServers over the spec's sites.
+func scaledServers(spec Spec) int {
+	sites := spec.Sites
+	if len(sites) == 0 {
+		sites = TableISites()
+	}
+	total := 0
+	for _, st := range sites {
+		total += scaledSiteServers(st, spec.Scale)
+	}
+	return total
+}
+
+// NewWorkload returns the workload the spec describes: spec.Workload when
+// set, otherwise the synthetic generator sized for the spec's fleet —
+// exactly the workload Build would install.
+func NewWorkload(spec Spec) (trace.Source, error) {
+	spec.applyDefaults()
+	if spec.Workload != nil {
+		return spec.Workload, nil
+	}
+	if err := validateClassWeights(spec.ClassWeights); err != nil {
+		return nil, err
+	}
+	return newWorkload(spec, scaledServers(spec))
+}
+
+// CompileWorkload materializes NewWorkload(spec) into an immutable compiled
+// trace (trace.Compile) aligned with the spec's profile-sampling and
+// fine-step parameters, so the simulator consumes it entirely from flat
+// arrays. The result is safe for concurrent readers; the experiment engine
+// compiles one per scenario x seed and shares it across that cell column's
+// policy runs.
+func CompileWorkload(spec Spec) (*trace.Compiled, error) {
+	spec.applyDefaults()
+	w, err := NewWorkload(spec)
+	if err != nil {
+		return nil, err
+	}
+	samples := sim.ResolveProfileSamples(spec.ProfileSamples)
+	if samples == 0 {
+		samples = -1 // resolved "no profiles": tell Compile to skip the table
+	}
+	return trace.Compile(w, trace.CompileOptions{
+		Samples:     samples,
+		FineStepSec: sim.ResolveFineStep(spec.FineStepSec),
+	}), nil
+}

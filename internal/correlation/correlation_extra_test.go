@@ -69,11 +69,22 @@ func TestProfileSetOwnership(t *testing.T) {
 	ps := NewProfileSet(3)
 	prof := []float64{0.5, 0.6, 0.7}
 	ps.Add(1, prof)
-	// The set retains the slice; mutating it changes the profile (that is
-	// the documented hand-over contract).
+	// Standard-length rows are copied into the set's contiguous arena (the
+	// documented cache-locality contract): the caller keeps its slice and
+	// later mutations do not leak into the set.
 	got := ps.Profile(1)
-	if &got[0] != &prof[0] {
-		t.Fatal("profile should be retained, not copied")
+	if &got[0] == &prof[0] {
+		t.Fatal("standard-length profile should be copied into the arena")
+	}
+	prof[0] = 99
+	if ps.Profile(1)[0] != 0.5 {
+		t.Fatal("caller mutation leaked into the set")
+	}
+	// Odd-length rows are retained as-is.
+	odd := []float64{0.1, 0.2}
+	ps.Add(2, odd)
+	if oddGot := ps.Profile(2); &oddGot[0] != &odd[0] {
+		t.Fatal("odd-length profile should be retained, not copied")
 	}
 }
 

@@ -25,6 +25,7 @@ package embed
 
 import (
 	"math"
+	"sync"
 
 	"geovmp/internal/rng"
 )
@@ -49,6 +50,24 @@ type Field interface {
 	// (its data-correlated peers). Used to keep sparse attraction exact in
 	// sampled mode; may return nil.
 	AttractionPeers(id int) []int
+}
+
+// SplitField is an optional Field extension exposing Eq. 5's structure: a
+// symmetric repulsive term per pair plus sparse directed attraction edges.
+// The exact mode uses it to build its dense force cache from one repulsion
+// evaluation per unordered pair plus one pass over the attraction edges,
+// instead of two full Force evaluations (each probing the volume matrix)
+// per pair. The decomposition must satisfy
+// Force(onto, by) == Repulsion(onto, by) + the attraction fa reported for
+// (onto, by), with Repulsion symmetric.
+type SplitField interface {
+	// RepulsionRow fills dst[k] with the symmetric repulsive component of
+	// the (a, bs[k]) pair force, already blended by the field's weighting.
+	RepulsionRow(a int, bs []int, dst []float64)
+	// EachAttraction calls fn for every nonzero directed attraction term:
+	// fa is the (already blended, negative) attractive component of
+	// Force(onto, by).
+	EachAttraction(fn func(onto, by int, fa float64))
 }
 
 // Config tunes the embedding.
@@ -184,35 +203,83 @@ func Run(ids []int, init map[int]Point, field Field, cfg Config) Result {
 		return finish(0, nil)
 	}
 	if n <= cfg.ExactThreshold {
-		iters, cost := runExact(ids, px, py, field, cfg)
+		iters, cost := runExact(ids, idx, px, py, field, cfg)
 		return finish(iters, cost)
 	}
 	iters, cost := runSampled(ids, idx, px, py, field, cfg)
 	return finish(iters, cost)
 }
 
+// exactScratch pools runExact's O(n^2) caches so per-slot embeddings reuse
+// them instead of allocating ~4 n^2 floats each. Only i != j entries are
+// ever read, so recycled buffers need no clearing.
+type exactScratch struct{ ft, ftT, wft, wftT, sft, prevD []float64 }
+
+var exactPool = sync.Pool{New: func() any { return new(exactScratch) }}
+
+func (s *exactScratch) ensure(n2 int) {
+	if cap(s.ft) < n2 {
+		s.ft = make([]float64, n2)
+		s.ftT = make([]float64, n2)
+		s.wft = make([]float64, n2)
+		s.wftT = make([]float64, n2)
+		s.sft = make([]float64, n2)
+		s.prevD = make([]float64, n2)
+	}
+	s.ft = s.ft[:n2]
+	s.ftT = s.ftT[:n2]
+	s.wft = s.wft[:n2]
+	s.wftT = s.wftT[:n2]
+	s.sft = s.sft[:n2]
+	s.prevD = s.prevD[:n2]
+}
+
 // runExact evaluates all ordered pairs with a dense, once-computed force
 // cache.
-func runExact(ids []int, px, py []float64, field Field, cfg Config) (int, []float64) {
+func runExact(ids []int, idx map[int]int, px, py []float64, field Field, cfg Config) (int, []float64) {
 	n := len(ids)
-	ft := make([]float64, n*n) // ft[i*n+j] = force on ids[i] by ids[j]
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
+	scr := exactPool.Get().(*exactScratch)
+	scr.ensure(n * n)
+	defer exactPool.Put(scr)
+	// Both force directions of each unordered pair live at the same
+	// row-major upper-triangle index — ft[i*n+j] is the force on ids[i] by
+	// ids[j] and ftT[i*n+j] the force on ids[j] by ids[i], i < j — so the
+	// build and every per-iteration sweep run on sequential memory; the
+	// lower triangles are never touched (hence never cleared).
+	ft := scr.ft
+	ftT := scr.ftT
+	if sf, ok := field.(SplitField); ok {
+		// Structured build: one symmetric repulsion row per point, copied
+		// to both directions, then the sparse attraction edges on top.
+		// Addition order matches the blended Force expression exactly
+		// (fa + fr, commutative).
+		for i := 0; i < n; i++ {
+			row := ft[i*n+i+1 : i*n+n]
+			sf.RepulsionRow(ids[i], ids[i+1:], row)
+			copy(ftT[i*n+i+1:i*n+n], row)
+		}
+		sf.EachAttraction(func(onto, by int, fa float64) {
+			i, ok1 := idx[onto]
+			j, ok2 := idx[by]
+			if !ok1 || !ok2 || i == j {
+				return
+			}
+			if i < j {
+				ft[i*n+j] += fa
+			} else {
+				ftT[j*n+i] += fa
+			}
+		})
+	} else {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
 				ft[i*n+j] = field.Force(ids[i], ids[j])
+				ftT[i*n+j] = field.Force(ids[j], ids[i])
 			}
 		}
 	}
-	prevD := make([]float64, n*n) // symmetric pair distances, i<j used
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := math.Hypot(px[i]-px[j], py[i]-py[j])
-			prevD[i*n+j] = d
-		}
-	}
-
-	fx := make([]float64, n)
-	fy := make([]float64, n)
+	// Iteration caches: the repulsion class weight applied once instead of
+	// per iteration, and the symmetric pair sum the cost function reads.
 	rw := cfg.repulsionWeight(n)
 	weight := func(f float64) float64 {
 		if f > 0 {
@@ -220,50 +287,83 @@ func runExact(ids []int, px, py []float64, field Field, cfg Config) (int, []floa
 		}
 		return f
 	}
+	wft := scr.wft
+	wftT := scr.wftT
+	sft := scr.sft
+	prevD := scr.prevD
+	for i := 0; i < n; i++ {
+		for k := i*n + i + 1; k < i*n+n; k++ {
+			wft[k] = weight(ft[k])
+			wftT[k] = weight(ftT[k])
+			sft[k] = ft[k] + ftT[k]
+		}
+		for j := i + 1; j < n; j++ {
+			dx := px[i] - px[j]
+			dy := py[i] - py[j]
+			prevD[i*n+j] = math.Sqrt(dx*dx + dy*dy)
+		}
+	}
+
+	fx := make([]float64, n)
+	fy := make([]float64, n)
 	var costs []float64
 	peak := 0.0
 	iters := 0
-	for iter := 0; iter < cfg.MaxIters; iter++ {
-		for i := range fx {
-			fx[i], fy[i] = 0, 0
-		}
+	// Each pass fuses the force evaluation over the current positions with
+	// the cost (Eq. 7) of the *previous* iteration's displacement — both
+	// need the same pair sweep and the same Euclidean distance, computed
+	// once per pair — so one O(n^2) pass per iteration replaces the former
+	// two.
+	pass := func(iter int, withForces bool) float64 {
+		var cost float64
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				dx := px[i] - px[j]
 				dy := py[i] - py[j]
 				d := math.Sqrt(dx*dx + dy*dy)
+				if iter > 0 {
+					cost += sft[i*n+j] * (d - prevD[i*n+j])
+					prevD[i*n+j] = d
+				}
+				if !withForces {
+					continue
+				}
 				if d < 1e-9 {
 					ang := rng.Noise01(cfg.Seed, uint64(i), uint64(j), uint64(iter)) * 2 * math.Pi
 					dx, dy, d = math.Cos(ang), math.Sin(ang), 1
 				}
 				ux, uy := dx/d, dy/d
-				fij := weight(ft[i*n+j]) // on i by j: positive pushes i along (j->i)
-				fji := weight(ft[j*n+i]) // on j by i: positive pushes j along (i->j)
+				fij := wft[i*n+j]  // on i by j: positive pushes i along (j->i)
+				fji := wftT[i*n+j] // on j by i: positive pushes j along (i->j)
 				fx[i] += fij * ux
 				fy[i] += fij * uy
 				fx[j] -= fji * ux
 				fy[j] -= fji * uy
 			}
 		}
-		displace(px, py, fx, fy, cfg)
-
-		var cost float64
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				d := math.Hypot(px[i]-px[j], py[i]-py[j])
-				delta := d - prevD[i*n+j]
-				cost += (ft[i*n+j] + ft[j*n+i]) * delta
-				prevD[i*n+j] = d
-			}
-		}
+		return cost
+	}
+	record := func(cost float64) bool {
 		costs = append(costs, cost)
-		iters = iter + 1
 		if cost > peak {
 			peak = cost
 		}
-		if cfg.stopNow(iter, cost, peak) {
+		return cfg.stopNow(iters-1, cost, peak)
+	}
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		for i := range fx {
+			fx[i], fy[i] = 0, 0
+		}
+		cost := pass(iter, true)
+		if iter > 0 && record(cost) {
 			break
 		}
+		displace(px, py, fx, fy, cfg)
+		iters = iter + 1
+	}
+	if len(costs) < iters {
+		// MaxIters displacements executed: the last one's cost is pending.
+		record(pass(iters, false))
 	}
 	return iters, costs
 }
@@ -301,7 +401,9 @@ func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg C
 	}
 	prevD := make([]float64, len(apairs))
 	for k, p := range apairs {
-		prevD[k] = math.Hypot(px[p.i]-px[p.j], py[p.i]-py[p.j])
+		dx := px[p.i] - px[p.j]
+		dy := py[p.i] - py[p.j]
+		prevD[k] = math.Sqrt(dx*dx + dy*dy)
 	}
 
 	// Repulsion scale: each point samples SampleK of the n-1 possible
@@ -366,7 +468,10 @@ func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg C
 
 		var cost float64
 		for k, p := range apairs {
-			d := math.Hypot(px[p.i]-px[p.j], py[p.i]-py[p.j])
+			// The same Sqrt distance metric the exact mode's cost uses.
+			dx := px[p.i] - px[p.j]
+			dy := py[p.i] - py[p.j]
+			d := math.Sqrt(dx*dx + dy*dy)
 			cost += (p.fij + p.fji) * (d - prevD[k])
 			prevD[k] = d
 		}

@@ -7,6 +7,15 @@
 // a fresh policy instance (PolicySpec.New) per cell — so cells can run on
 // any schedule without sharing mutable state, and the result of a sweep is
 // byte-identical whether it ran on one worker or sixteen.
+//
+// The workload is the exception, by design: the paper replays *the same*
+// workload for every policy so metric differences are attributable to
+// placement alone. The engine therefore materializes each scenario x seed's
+// workload exactly once — compiled into immutable flat arrays
+// (config.CompileWorkload) the first time any of that column's cells runs —
+// and shares the read-only result across the column's policy runs. Cells
+// still clone all mutable state: battery banks, forecasters, green
+// controllers and the network RNG are rebuilt per cell.
 package experiment
 
 import (
@@ -16,12 +25,14 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"geovmp/internal/config"
 	"geovmp/internal/metrics"
 	"geovmp/internal/policy"
 	"geovmp/internal/report"
 	"geovmp/internal/sim"
+	"geovmp/internal/trace"
 )
 
 // PolicySpec names a policy and constructs a fresh instance per grid cell.
@@ -358,11 +369,43 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 		workers = total
 	}
 
+	// Cells are enqueued column-major — all policies of one scenario x seed
+	// column together — so a column's compiled tables are built, used and
+	// released before the next column's are compiled; results stay in grid
+	// order regardless (cells carry absolute indices).
 	jobs := make(chan int, total)
-	for idx := 0; idx < total; idx++ {
-		jobs <- idx
+	for si := range g.Scenarios {
+		for ki := range offsets {
+			for pi := range g.Policies {
+				jobs <- (si*len(g.Policies)+pi)*len(offsets) + ki
+			}
+		}
 	}
 	close(jobs)
+
+	// One shared workload per scenario x seed, compiled lazily by the first
+	// cell of the column that runs; the other policies of the column reuse
+	// the immutable result instead of re-synthesizing it. Each column
+	// counts its outstanding cells so big grids release a column's tables
+	// as soon as its last policy run finishes.
+	shared := make([]sharedWorkload, len(g.Scenarios)*len(offsets))
+	for i := range shared {
+		shared[i].remaining.Store(int64(len(g.Policies)))
+	}
+	// An injected workload (and the environment, always) is seed-
+	// independent, so such a scenario's seed columns collapse onto one
+	// shared entry instead of re-compiling identical tables per seed.
+	for si := range g.Scenarios {
+		if g.Scenarios[si].Workload != nil {
+			shared[si*len(offsets)].remaining.Store(int64(len(g.Policies) * len(offsets)))
+		}
+	}
+	sharedFor := func(si, ki int) *sharedWorkload {
+		if g.Scenarios[si].Workload != nil {
+			ki = 0
+		}
+		return &shared[si*len(offsets)+ki]
+	}
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -375,12 +418,15 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 			defer wg.Done()
 			for idx := range jobs {
 				cell := &set.Cells[idx]
+				si := idx / perScenario
+				pi := (idx % perScenario) / perPolicy
+				ki := idx % perPolicy
+				wl := sharedFor(si, ki)
 				if err := ctx.Err(); err != nil {
 					cell.Err = err
+					wl.done()
 				} else {
-					si := idx / perScenario
-					pi := (idx % perScenario) / perPolicy
-					cell.Result, cell.Err = runCell(ctx, g.Scenarios[si], g.Policies[pi], cell.Seed)
+					cell.Result, cell.Err = runCell(ctx, g.Scenarios[si], g.Policies[pi], cell.Seed, wl)
 				}
 				if g.Progress != nil {
 					mu.Lock()
@@ -395,13 +441,67 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 	return set, set.Err()
 }
 
-// runCell evaluates one grid cell on fresh state.
-func runCell(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64) (*sim.Result, error) {
+// sharedWorkload lazily compiles one scenario x seed's workload and
+// environment (PUE / renewable / PV series) and hands the immutable results
+// to every policy run of that grid column, dropping them once the column's
+// last cell is done.
+type sharedWorkload struct {
+	once      sync.Once
+	mu        sync.Mutex
+	src       *trace.Compiled
+	env       *sim.Environment
+	err       error
+	remaining atomic.Int64 // cells of the column not yet finished
+}
+
+func (s *sharedWorkload) get(spec config.Spec) (*trace.Compiled, *sim.Environment, error) {
+	s.once.Do(func() {
+		src, err := config.CompileWorkload(spec)
+		if err != nil {
+			s.err = err
+			return
+		}
+		spec.Workload = src
+		sc, err := config.Build(spec)
+		if err != nil {
+			s.err = err
+			return
+		}
+		env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, sc.FineStepSec)
+		s.mu.Lock()
+		s.src, s.env = src, env
+		s.mu.Unlock()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src, s.env, s.err
+}
+
+// done marks one of the column's cells finished, releasing the compiled
+// tables after the last one so a long sweep's memory follows its frontier.
+func (s *sharedWorkload) done() {
+	if s.remaining.Add(-1) == 0 {
+		s.mu.Lock()
+		s.src, s.env = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// runCell evaluates one grid cell on fresh mutable state over the column's
+// shared workload and environment.
+func runCell(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64, wl *sharedWorkload) (*sim.Result, error) {
+	defer wl.done()
 	spec.Seed = seed
+	w, env, err := wl.get(spec)
+	if err != nil {
+		return nil, err
+	}
+	spec.Workload = w
 	sc, err := config.Build(spec)
 	if err != nil {
 		return nil, err
 	}
+	sc.Env = env
 	pol := ps.New(seed)
 	if pol == nil {
 		return nil, fmt.Errorf("experiment: policy %q constructor returned nil", ps.Name)

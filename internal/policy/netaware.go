@@ -1,7 +1,8 @@
 package policy
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"geovmp/internal/alloc"
 	"geovmp/internal/correlation"
@@ -63,12 +64,15 @@ func (n NetAware) Place(in *Input) Placement {
 
 	// Heavy communicators first so they anchor their partners; ties by id.
 	order := append([]int(nil), in.ActiveVMs...)
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := tot[order[a]], tot[order[b]]
-		if ta != tb {
-			return ta > tb
+	slices.SortFunc(order, func(a, b int) int {
+		ta, tb := tot[a], tot[b]
+		switch {
+		case ta > tb:
+			return -1
+		case ta < tb:
+			return 1
 		}
-		return order[a] < order[b]
+		return cmp.Compare(a, b)
 	})
 
 	wish := make(map[int]int, len(order))

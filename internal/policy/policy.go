@@ -16,7 +16,8 @@
 package policy
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"geovmp/internal/alloc"
 	"geovmp/internal/correlation"
@@ -41,10 +42,11 @@ type Input struct {
 	Profiles *correlation.ProfileSet
 	// Volumes holds last-interval inter-VM directed data volumes.
 	Volumes *correlation.DataMatrix
-	// VMEnergy predicts each VM's facility energy for the next slot, Joules.
-	VMEnergy map[int]float64
-	// Image gives each VM's migration image size.
-	Image map[int]units.DataSize
+	// VMEnergy predicts each VM's facility energy for the next slot,
+	// Joules, indexed by VM id (dense; inactive ids read 0).
+	VMEnergy []float64
+	// Image gives each VM's migration image size, indexed by VM id.
+	Image []units.DataSize
 
 	DCs           dc.Fleet
 	Prices        []units.Price  // current grid price per DC
@@ -96,15 +98,20 @@ func peakDemand(in *Input, id int) float64 {
 }
 
 // sortedByDemandDesc returns the active VMs ordered by descending CPU
-// demand (FFD order), ties by id.
+// demand (FFD order), ties by id. The comparator is a total order (the id
+// tiebreak), so the non-reflective sort produces the same permutation the
+// former sort.Slice did.
 func sortedByDemandDesc(in *Input) []int {
 	ids := append([]int(nil), in.ActiveVMs...)
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := cpuDemand(in, ids[a]), cpuDemand(in, ids[b])
-		if da != db {
-			return da > db
+	slices.SortFunc(ids, func(a, b int) int {
+		da, db := cpuDemand(in, a), cpuDemand(in, b)
+		switch {
+		case da > db:
+			return -1
+		case da < db:
+			return 1
 		}
-		return ids[a] < ids[b]
+		return cmp.Compare(a, b)
 	})
 	return ids
 }

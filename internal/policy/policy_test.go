@@ -55,8 +55,9 @@ func buildInput(t *testing.T, opts inputOpts) *Input {
 	fleet := testFleet(t, 8, 6, 4)
 	n := len(fleet)
 	ps := correlation.NewProfileSet(4)
-	vmEnergy := make(map[int]float64)
-	image := make(map[int]units.DataSize)
+	// Dense per-id tables; sized past nVMs so tests can poke extra ids.
+	vmEnergy := make([]float64, opts.nVMs+32)
+	image := make([]units.DataSize, opts.nVMs+32)
 	ids := make([]int, opts.nVMs)
 	for id := 0; id < opts.nVMs; id++ {
 		ids[id] = id

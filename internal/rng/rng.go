@@ -201,13 +201,18 @@ func NoiseNorm(keys ...uint64) float64 {
 // interpolation of Noise01 lattice values at integer positions of x. It
 // drives slowly-varying trace components (e.g. cloud cover) where white
 // noise would be unphysical.
+//
+// It is allocation-free: the lattice hashes fold the x0 key onto the
+// incrementally-hashed prefix instead of building key slices, producing the
+// same values as Noise01(keys..., x0).
 func SmoothNoise(x float64, keys ...uint64) float64 {
 	x0 := math.Floor(x)
 	t := x - x0
-	k0 := append(append([]uint64(nil), keys...), uint64(int64(x0)))
-	k1 := append(append([]uint64(nil), keys...), uint64(int64(x0)+1))
-	a := Noise01(k0...)
-	b := Noise01(k1...)
+	h := Hash(keys...)
+	h0 := mix64(h ^ mix64(uint64(int64(x0))+0x9e3779b97f4a7c15))
+	h1 := mix64(h ^ mix64(uint64(int64(x0)+1)+0x9e3779b97f4a7c15))
+	a := float64(h0>>11) / (1 << 53)
+	b := float64(h1>>11) / (1 << 53)
 	// Cosine ease curve keeps the derivative continuous at lattice points.
 	w := (1 - math.Cos(math.Pi*t)) / 2
 	return a*(1-w) + b*w

@@ -1,0 +1,69 @@
+package sim_test
+
+import (
+	"testing"
+
+	"geovmp/internal/policy"
+	"geovmp/internal/sim"
+)
+
+// TestResolveDefaults pins the unset-vs-override convention: zero selects
+// the default, negative selects the zero-value override where one is
+// meaningful (mirroring WarmupSlots).
+func TestResolveDefaults(t *testing.T) {
+	if got := sim.ResolveQoS(0); got != sim.DefaultQoS {
+		t.Fatalf("ResolveQoS(0) = %v", got)
+	}
+	if got := sim.ResolveQoS(-1); got != 0 {
+		t.Fatalf("ResolveQoS(-1) = %v, want 0 (guarantee disabled)", got)
+	}
+	if got := sim.ResolveQoS(0.95); got != 0.95 {
+		t.Fatalf("ResolveQoS(0.95) = %v", got)
+	}
+	if got := sim.ResolveProfileSamples(0); got != sim.DefaultProfileSamples {
+		t.Fatalf("ResolveProfileSamples(0) = %v", got)
+	}
+	if got := sim.ResolveProfileSamples(-3); got != 0 {
+		t.Fatalf("ResolveProfileSamples(-3) = %v, want 0 (no profiles)", got)
+	}
+	if got := sim.ResolveProfileSamples(24); got != 24 {
+		t.Fatalf("ResolveProfileSamples(24) = %v", got)
+	}
+	if got := sim.ResolveFineStep(0); got != sim.DefaultFineStepSec {
+		t.Fatalf("ResolveFineStep(0) = %v", got)
+	}
+	if got := sim.ResolveFineStep(-5); got != sim.DefaultFineStepSec {
+		t.Fatalf("ResolveFineStep(-5) = %v (no meaningful zero override)", got)
+	}
+	if got := sim.ResolveFineStep(60); got != 60 {
+		t.Fatalf("ResolveFineStep(60) = %v", got)
+	}
+}
+
+// TestNegativeQoSDisablesGuarantee runs a scenario with QoS < 0: the
+// migration budget spans the whole slot, so nothing is rejected.
+func TestNegativeQoSDisablesGuarantee(t *testing.T) {
+	sc := tinyScenario(t, 6)
+	sc.QoS = -1
+	res, err := sim.Run(sc, allPolicies(6)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigRejected != 0 {
+		t.Fatalf("disabled QoS still rejected %d migrations", res.MigRejected)
+	}
+}
+
+// TestNegativeProfileSamplesRunsBlind runs with ProfileSamples < 0: the
+// controllers observe empty profiles but the simulation still completes.
+func TestNegativeProfileSamplesRunsBlind(t *testing.T) {
+	sc := tinyScenario(t, 6)
+	sc.ProfileSamples = -1
+	res, err := sim.Run(sc, policy.EnerAware{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergy <= 0 {
+		t.Fatal("blind run consumed no energy")
+	}
+}

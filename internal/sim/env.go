@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"geovmp/internal/dc"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// Environment is a precomputed table of a scenario's policy-independent
+// time series: per-DC instantaneous PUE and renewable power at every fine
+// step, and per-DC realized PV energy per slot. All of it is a pure
+// function of the fleet's sites and the horizon — no policy and no battery
+// state touches it — so the experiment engine compiles one Environment per
+// scenario x seed and shares the read-only result across every policy run
+// of that column, exactly like the compiled workload.
+type Environment struct {
+	dt    float64
+	steps int
+	slots timeutil.Slot
+	fleet string           // fingerprint of the fleet it was compiled for
+	pue   [][]float64      // [dc][int(slot)*steps+k]
+	renew [][]units.Power  // [dc][int(slot)*steps+k]
+	pv    [][]units.Energy // [dc][slot]
+}
+
+// fleetFingerprint identifies a fleet's site models: the series are pure
+// functions of each DC's cooling site and PV plant parameters (both plain
+// scalar structs), so their printed form plus order detects a table
+// compiled for a different fleet.
+func fleetFingerprint(fleet dc.Fleet) string {
+	var b strings.Builder
+	for _, d := range fleet {
+		fmt.Fprintf(&b, "%s\x00%+v\x00%+v\x00", d.Name, d.Cooling, d.Plant)
+	}
+	return b.String()
+}
+
+// CompileEnvironment evaluates the fleet's cooling and PV series over the
+// horizon at the given fine step (both resolved exactly like Scenario's
+// defaults). The fleet is only read; the returned table is immutable and
+// safe for concurrent readers.
+func CompileEnvironment(fleet dc.Fleet, horizon timeutil.Horizon, fineStepSec float64) *Environment {
+	if horizon.Slots == 0 {
+		horizon = timeutil.Week()
+	}
+	dt := ResolveFineStep(fineStepSec)
+	steps := 0
+	for t := 0.0; t < timeutil.SlotSeconds; t += dt {
+		steps++
+	}
+	slots := int(horizon.Slots)
+	e := &Environment{
+		dt:    dt,
+		steps: steps,
+		slots: horizon.Slots,
+		fleet: fleetFingerprint(fleet),
+		pue:   make([][]float64, len(fleet)),
+		renew: make([][]units.Power, len(fleet)),
+		pv:    make([][]units.Energy, len(fleet)),
+	}
+	for i, d := range fleet {
+		e.pue[i] = make([]float64, slots*steps)
+		e.renew[i] = make([]units.Power, slots*steps)
+		e.pv[i] = make([]units.Energy, slots)
+		for sl := timeutil.Slot(0); sl < horizon.Slots; sl++ {
+			base := int(sl) * steps
+			start := sl.Seconds()
+			k := 0
+			// Replicates the simulator's fine loop bit-for-bit, including
+			// its floating-point time accumulation.
+			for t := 0.0; t < timeutil.SlotSeconds; t += dt {
+				at := start + t
+				e.pue[i][base+k] = d.Cooling.PUEAt(at)
+				e.renew[i][base+k] = d.Plant.PowerAt(at)
+				k++
+			}
+			e.pv[i][sl] = d.Plant.SlotEnergy(sl)
+		}
+	}
+	return e
+}
+
+// matches reports whether the table was compiled for this fleet and covers
+// a run over the given horizon and fine step.
+func (e *Environment) matches(fleet dc.Fleet, slots timeutil.Slot, dt float64) bool {
+	return e != nil && len(e.pue) == len(fleet) && e.slots >= slots && e.dt == dt &&
+		e.fleet == fleetFingerprint(fleet)
+}

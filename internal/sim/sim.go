@@ -15,6 +15,12 @@
 // The same workload, network conditions and green controllers are replayed
 // for every policy (all randomness is seed-derived), so metric differences
 // are attributable to placement alone — the paper's comparison setup.
+//
+// The hot loops are allocation-free in steady state: per-slot containers
+// (profile sets, volume matrices, placement buffers) are reused across
+// slots, and when the workload is a compiled trace (trace.Compile) the
+// per-step utilization reads become slice indexing instead of trace
+// synthesis.
 package sim
 
 import (
@@ -33,41 +39,97 @@ import (
 	"geovmp/internal/units"
 )
 
+// Defaults applied by Scenario for unset (zero) knobs. Zero means "unset"
+// for every defaulted field; fields whose zero value is also a meaningful
+// override accept a negative value to select it, mirroring WarmupSlots:
+// QoS < 0 disables the migration guarantee (the latency budget spans the
+// whole slot) and ProfileSamples < 0 gives the controllers empty profiles.
+// FineStepSec has no meaningful zero override — a non-positive step cannot
+// be simulated — so any value <= 0 selects the default.
+const (
+	DefaultQoS            = 0.98
+	DefaultProfileSamples = 12
+	DefaultFineStepSec    = 5
+	DefaultWarmupSlots    = 6
+)
+
+// ResolveQoS maps a Scenario.QoS field value to the effective guarantee:
+// the default when unset (0), no guarantee (0) when negative.
+func ResolveQoS(q float64) float64 {
+	switch {
+	case q == 0:
+		return DefaultQoS
+	case q < 0:
+		return 0
+	}
+	return q
+}
+
+// ResolveProfileSamples maps a Scenario.ProfileSamples field value to the
+// effective per-slot profile length: the default when unset (0), zero
+// samples when negative.
+func ResolveProfileSamples(n int) int {
+	switch {
+	case n == 0:
+		return DefaultProfileSamples
+	case n < 0:
+		return 0
+	}
+	return n
+}
+
+// ResolveFineStep maps a Scenario.FineStepSec field value to the effective
+// green-controller period; any non-positive value selects the default.
+func ResolveFineStep(sec float64) float64 {
+	if sec <= 0 {
+		return DefaultFineStepSec
+	}
+	return sec
+}
+
 // Scenario bundles everything a run needs. Build one per policy run (DC
-// battery state and forecaster history are mutable).
+// battery state and forecaster history are mutable); the workload may be
+// shared between runs — it only needs to be safe for concurrent readers,
+// which both the synthetic Workload and a compiled trace are.
 type Scenario struct {
-	Name           string
-	Fleet          dc.Fleet
-	Workload       trace.Source
-	Topo           *network.Topology
-	Horizon        timeutil.Horizon
-	Seed           uint64
-	QoS            float64 // migration QoS guarantee (default 0.98)
-	ProfileSamples int     // per-slot downsampled profile length (default 12)
-	FineStepSec    float64 // green-controller step (default 5, the paper's)
+	Name     string
+	Fleet    dc.Fleet
+	Workload trace.Source
+	Topo     *network.Topology
+	Horizon  timeutil.Horizon
+	Seed     uint64
+	// QoS is the migration latency guarantee (default 0.98; negative
+	// disables it — the per-link budget spans the whole slot).
+	QoS float64
+	// ProfileSamples is the per-slot downsampled profile length (default
+	// 12; negative gives the controllers empty profiles).
+	ProfileSamples int
+	// FineStepSec is the green-controller step (default 5, the paper's;
+	// any non-positive value selects the default).
+	FineStepSec float64
 	// WarmupSlots are simulated but excluded from every metric: the first
 	// slots of a cold-started fleet are placement transients no real
 	// week-long deployment would exhibit (default 6, capped at half the
 	// horizon; negative disables).
 	WarmupSlots int
+	// Env optionally supplies the fleet's precomputed PUE / renewable / PV
+	// series (CompileEnvironment). Runs whose horizon and fine step the
+	// table covers read it instead of re-evaluating the site models; a
+	// mismatched or nil table is ignored. The experiment engine shares one
+	// per scenario x seed.
+	Env *Environment
 }
 
 func (sc *Scenario) applyDefaults() {
-	if sc.QoS == 0 {
-		sc.QoS = 0.98
-	}
-	if sc.ProfileSamples == 0 {
-		sc.ProfileSamples = 12
-	}
-	if sc.FineStepSec == 0 {
-		sc.FineStepSec = 5
-	}
+	sc.QoS = ResolveQoS(sc.QoS)
+	sc.ProfileSamples = ResolveProfileSamples(sc.ProfileSamples)
+	sc.FineStepSec = ResolveFineStep(sc.FineStepSec)
 	if sc.Horizon.Slots == 0 {
 		sc.Horizon = timeutil.Week()
 	}
 	switch {
 	case sc.WarmupSlots == 0:
-		sc.WarmupSlots = 6
+		sc.WarmupSlots = DefaultWarmupSlots
 	case sc.WarmupSlots < 0:
 		sc.WarmupSlots = 0
 	}
@@ -168,8 +230,25 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 	w := sc.Workload
 	fleet := sc.Fleet
 	n := len(fleet)
+	numVMs := w.NumVMs()
 	net := network.NewState(sc.Topo, rng.New(sc.Seed).Derive("network"))
 	constraint := (1 - sc.QoS) * timeutil.SlotSeconds
+
+	// Compiled fast paths: profile rows shared without copying when the
+	// sampling matches, and fine-step utilization rows when the fine table
+	// matches the scenario's step.
+	compiled, _ := w.(*trace.Compiled)
+	useProfiles := compiled != nil && compiled.Samples() == sc.ProfileSamples
+	fineSteps := 0
+	if compiled != nil {
+		if dt, steps := compiled.FineParams(); steps > 0 && dt == sc.FineStepSec {
+			fineSteps = steps
+		}
+	}
+	env := sc.Env
+	if !env.matches(fleet, sc.Horizon.Slots, sc.FineStepSec) {
+		env = nil
+	}
 
 	res := &Result{
 		Policy:      pol.Name(),
@@ -179,21 +258,71 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 	}
 	res.CostSeries.Name = "cost-eur"
 	res.EnergySeries.Name = "energy-gj"
+	if measuredSlots := int(sc.Horizon.Slots) - sc.WarmupSlots; measuredSlots > 0 {
+		res.RespSamples = make([]float64, 0, measuredSlots*n)
+	}
 
 	current := make(map[int]int) // VM -> DC, surviving across slots
 	lastEnergy := make([]units.Energy, n)
 	var activeServerSum float64
+
+	// Per-slot containers, allocated once and reused across slots.
+	var prevIDs []int
+	activeSet := make([]bool, numVMs)
+	ps := correlation.NewProfileSet(sc.ProfileSamples)
+	dm := correlation.NewDataMatrix()
+	vmEnergy := make([]float64, numVMs)
+	images := make([]units.DataSize, numVMs)
+	for id := range images {
+		images[id] = w.Image(id)
+	}
+	perCore := float64(fleet[0].Model.MarginalPower() + fleet[0].Model.IdleShare())
+	in := &policy.Input{
+		Current:       current,
+		Profiles:      ps,
+		Volumes:       dm,
+		VMEnergy:      vmEnergy,
+		Image:         images,
+		DCs:           fleet,
+		Prices:        make([]units.Price, n),
+		RenewForecast: make([]units.Energy, n),
+		BatteryAvail:  make([]units.Energy, n),
+		LastEnergy:    make([]units.Energy, n),
+		Net:           net,
+		Constraint:    constraint,
+	}
+	byDC := make([][]int, n)
+	allocs := make([]allocView, n)
+	slotEnergy := make([]units.Energy, n)
+	vol := make([][]units.DataSize, n)
+	for i := range vol {
+		vol[i] = make([]units.DataSize, n)
+	}
+	var fine *finePlan
+	if fineSteps > 0 {
+		fine = newFinePlan(n, fineSteps, sc.FineStepSec)
+	}
 
 	for sl := timeutil.Slot(0); sl < sc.Horizon.Slots; sl++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		ids := w.ActiveVMs(sl)
-		// Drop departed VMs from the carried placement.
-		activeSet := make(map[int]bool, len(ids))
+		// Swap the active set to this slot's ids and clear the previous
+		// slot's per-VM tables. Ids index dense numVMs-sized tables, so an
+		// out-of-contract source surfaces as an error, not a panic.
+		for _, id := range prevIDs {
+			activeSet[id] = false
+			vmEnergy[id] = 0
+		}
 		for _, id := range ids {
+			if id < 0 || id >= numVMs {
+				return nil, fmt.Errorf("sim: workload ActiveVMs(%d) returned id %d outside [0, %d)", sl, id, numVMs)
+			}
 			activeSet[id] = true
 		}
+		prevIDs = ids
+		// Drop departed VMs from the carried placement.
 		for id := range current {
 			if !activeSet[id] {
 				delete(current, id)
@@ -206,41 +335,52 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		if sl > 0 {
 			obsSlot = sl - 1
 		}
-		ps := correlation.NewProfileSet(sc.ProfileSamples)
-		for _, id := range ids {
-			ps.Add(id, w.SlotProfile(id, obsSlot, sc.ProfileSamples))
+		ps.Reset()
+		if useProfiles {
+			for _, id := range ids {
+				if row := compiled.ProfileRow(id, obsSlot); row != nil {
+					ps.Add(id, row)
+				} else {
+					ps.Add(id, w.SlotProfile(id, obsSlot, sc.ProfileSamples))
+				}
+			}
+		} else {
+			for _, id := range ids {
+				ps.Add(id, w.SlotProfile(id, obsSlot, sc.ProfileSamples))
+			}
 		}
-		dm := correlation.NewDataMatrix()
+		dm.Reset()
 		for _, e := range w.PlannedVolumes(obsSlot, sl) {
 			dm.Add(e.From, e.To, e.Vol)
 		}
 
-		in := &policy.Input{
-			Slot:          sl,
-			ActiveVMs:     ids,
-			Current:       current,
-			Profiles:      ps,
-			Volumes:       dm,
-			VMEnergy:      vmEnergies(fleet, ids, ps, sl),
-			Image:         imageSizes(w, ids),
-			DCs:           fleet,
-			Prices:        make([]units.Price, n),
-			RenewForecast: make([]units.Energy, n),
-			BatteryAvail:  make([]units.Energy, n),
-			LastEnergy:    append([]units.Energy(nil), lastEnergy...),
-			Net:           net,
-			Constraint:    constraint,
+		// Per-VM energy prediction for the coming slot: mean utilization
+		// times the fleet server's fully-loaded per-core power, times the
+		// mean PUE across sites.
+		var pue float64
+		for _, d := range fleet {
+			pue += d.Cooling.MeanPUEOverSlot(sl)
 		}
+		pue /= float64(n)
+		for _, id := range ids {
+			vmEnergy[id] = ps.Mean(id) * perCore * pue * timeutil.SlotSeconds
+		}
+
+		in.Slot = sl
+		in.ActiveVMs = ids
 		for i, d := range fleet {
 			in.Prices[i] = d.Tariff.AtSlot(sl)
 			in.RenewForecast[i] = d.Forecast.Forecast(sl)
 			in.BatteryAvail[i] = d.Bank.UsableAC()
+			in.LastEnergy[i] = lastEnergy[i]
 		}
 
 		measured := sl >= timeutil.Slot(sc.WarmupSlots)
 		net.Reroll()
 		placement := pol.Place(in)
-		byDC := make([][]int, n)
+		for i := range byDC {
+			byDC[i] = byDC[i][:0]
+		}
 		for _, id := range ids {
 			dcIdx, ok := placement.DCOf[id]
 			if !ok || dcIdx < 0 || dcIdx >= n {
@@ -257,29 +397,52 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		}
 
 		// Local phase.
-		allocs := make([]allocView, n)
 		for i, d := range fleet {
 			a := pol.Allocate(d, byDC[i], ps)
 			if measured {
 				res.Overflowed += a.Overflowed
 				activeServerSum += float64(a.Active)
 			}
-			allocs[i] = newAllocView(a)
+			allocs[i].reset(a)
 		}
 
-		// Fine loop over [sl, sl+1).
-		slotEnergy := make([]units.Energy, n)
+		// Fine loop over [sl, sl+1). With a compiled trace the per-step IT
+		// power is evaluated in one vectorized pass over the fine rows;
+		// otherwise each step synthesizes utilizations on demand. Both
+		// paths accumulate in the same order, so results are identical.
+		if fine != nil {
+			fine.evaluate(compiled, fleet, allocs, sl)
+		}
+		clear(slotEnergy)
 		var slotCost units.Money
 		dt := sc.FineStepSec
 		start := sl.Seconds()
+		envBase := 0
+		if env != nil {
+			envBase = int(sl) * env.steps
+		}
+		k := 0
 		for t := 0.0; t < timeutil.SlotSeconds; t += dt {
 			at := start + t
 			step := timeutil.Step(int64(at) / timeutil.StepSeconds)
 			for i, d := range fleet {
-				it, throttled := allocs[i].itPower(w, d, step)
-				pue := d.Cooling.PUEAt(at)
+				var it units.Power
+				var throttled float64
+				if fine != nil {
+					it, throttled = fine.itPower[i][k], fine.throttled[i][k]
+				} else {
+					it, throttled = allocs[i].itPowerAt(w, d, step)
+				}
+				var pue float64
+				var renew units.Power
+				if env != nil {
+					pue = env.pue[i][envBase+k]
+					renew = env.renew[i][envBase+k]
+				} else {
+					pue = d.Cooling.PUEAt(at)
+					renew = d.Plant.PowerAt(at)
+				}
 				facility := units.Power(float64(it) * pue)
-				renew := d.Plant.PowerAt(at)
 				dec := d.Green.Step(facility, renew, at, dt)
 				slotEnergy[i] += dec.Demand
 				if !measured {
@@ -293,6 +456,7 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 				res.RenewableLost += dec.RenewableLost
 				res.BatteryOut += dec.BatteryOut
 			}
+			k++
 		}
 		var slotTotal units.Energy
 		for i := range fleet {
@@ -314,11 +478,15 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		// constraint already bounds them to 2% of the slot, and response
 		// time is defined as "the amount of time [VMs] have to wait for
 		// data from other VMs", i.e. application traffic only.
-		vol := make([][]units.DataSize, n)
 		for i := range vol {
-			vol[i] = make([]units.DataSize, n)
+			clear(vol[i])
 		}
 		for _, e := range w.Volumes(sl) {
+			// Range-check before indexing: replayed CSV traces may name
+			// out-of-range endpoints.
+			if e.From < 0 || e.From >= numVMs || e.To < 0 || e.To >= numVMs {
+				continue
+			}
 			if !activeSet[e.From] || !activeSet[e.To] {
 				continue
 			}
@@ -342,8 +510,12 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		}
 
 		// Learn: forecasters see the slot's realized PV intake.
-		for _, d := range fleet {
-			d.Forecast.Observe(sl, d.Plant.SlotEnergy(sl))
+		for i, d := range fleet {
+			if env != nil {
+				d.Forecast.Observe(sl, env.pv[i][sl])
+			} else {
+				d.Forecast.Observe(sl, d.Plant.SlotEnergy(sl))
+			}
 		}
 
 		// Carry placement.
@@ -361,32 +533,6 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 	return res, nil
 }
 
-// vmEnergies predicts each VM's next-slot facility energy: mean utilization
-// times the fleet server's fully-loaded per-core power, times the mean PUE
-// across sites.
-func vmEnergies(fleet dc.Fleet, ids []int, ps *correlation.ProfileSet, sl timeutil.Slot) map[int]float64 {
-	perCore := float64(fleet[0].Model.MarginalPower() + fleet[0].Model.IdleShare())
-	var pue float64
-	for _, d := range fleet {
-		pue += d.Cooling.MeanPUEOverSlot(sl)
-	}
-	pue /= float64(len(fleet))
-	out := make(map[int]float64, len(ids))
-	for _, id := range ids {
-		out[id] = ps.Mean(id) * perCore * pue * timeutil.SlotSeconds
-	}
-	return out
-}
-
-// imageSizes collects migration image sizes for the active VMs.
-func imageSizes(w trace.Source, ids []int) map[int]units.DataSize {
-	out := make(map[int]units.DataSize, len(ids))
-	for _, id := range ids {
-		out[id] = w.Image(id)
-	}
-	return out
-}
-
 // allocView caches an allocation in a form the fine loop can evaluate
 // quickly: per server, the member VM ids and the DVFS level.
 type allocView struct {
@@ -398,17 +544,21 @@ type serverView struct {
 	level int
 }
 
-func newAllocView(a alloc.Result) allocView {
-	v := allocView{servers: make([]serverView, len(a.Servers))}
+// reset refills the view in place, reusing the servers slice.
+func (v *allocView) reset(a alloc.Result) {
+	if cap(v.servers) < len(a.Servers) {
+		v.servers = make([]serverView, len(a.Servers))
+	}
+	v.servers = v.servers[:len(a.Servers)]
 	for s, srv := range a.Servers {
 		v.servers[s] = serverView{vms: srv.VMs, level: srv.Level}
 	}
-	return v
 }
 
-// itPower returns the DC's IT power at the fine step plus the throttled
-// demand (reference cores beyond the packed servers' capacity).
-func (v *allocView) itPower(w trace.Source, d *dc.DC, step timeutil.Step) (units.Power, float64) {
+// itPowerAt returns the DC's IT power at the fine step plus the throttled
+// demand (reference cores beyond the packed servers' capacity) — the
+// synthesize-on-demand path for non-compiled workloads.
+func (v *allocView) itPowerAt(w trace.Source, d *dc.DC, step timeutil.Step) (units.Power, float64) {
 	var total units.Power
 	var throttled float64
 	for _, srv := range v.servers {
@@ -423,4 +573,74 @@ func (v *allocView) itPower(w trace.Source, d *dc.DC, step timeutil.Step) (units
 		total += d.Model.Power(srv.level, load)
 	}
 	return total, throttled
+}
+
+// finePlan holds the per-DC per-step IT power and throttled demand of one
+// slot, evaluated in a single pass over the compiled utilization rows. The
+// buffers are reused across slots.
+type finePlan struct {
+	steps     int
+	dt        float64
+	itPower   [][]units.Power // [dc][step]
+	throttled [][]float64     // [dc][step]
+	srvLoad   []float64       // [step], scratch for one server
+}
+
+func newFinePlan(n, steps int, dt float64) *finePlan {
+	p := &finePlan{
+		steps:     steps,
+		dt:        dt,
+		itPower:   make([][]units.Power, n),
+		throttled: make([][]float64, n),
+		srvLoad:   make([]float64, steps),
+	}
+	for i := 0; i < n; i++ {
+		p.itPower[i] = make([]units.Power, steps)
+		p.throttled[i] = make([]float64, steps)
+	}
+	return p
+}
+
+// evaluate fills the plan for slot sl. Per server it accumulates the member
+// VMs' fine rows, then folds capacity and the power model per step — the
+// same additions in the same order as the per-step itPowerAt path, so the
+// two produce bit-identical results.
+func (p *finePlan) evaluate(c *trace.Compiled, fleet dc.Fleet, allocs []allocView, sl timeutil.Slot) {
+	for i := range fleet {
+		d := fleet[i]
+		itp := p.itPower[i]
+		thr := p.throttled[i]
+		clear(itp)
+		clear(thr)
+		for _, srv := range allocs[i].servers {
+			load := p.srvLoad
+			clear(load)
+			for _, id := range srv.vms {
+				row := c.FineRow(id, sl)
+				if row == nil {
+					// A VM the table does not cover (a policy allocating a
+					// never-active id): read the source at the exact steps
+					// the fine loop derives.
+					start := sl.Seconds()
+					k := 0
+					for t := 0.0; t < timeutil.SlotSeconds; t += p.dt {
+						step := timeutil.Step(int64(start+t) / timeutil.StepSeconds)
+						load[k] += c.Util(id, step)
+						k++
+					}
+					continue
+				}
+				for k := range load {
+					load[k] += row[k]
+				}
+			}
+			capS := d.Model.Capacity(srv.level)
+			for k := range load {
+				if load[k] > capS {
+					thr[k] += load[k] - capS
+				}
+				itp[k] += d.Model.Power(srv.level, load[k])
+			}
+		}
+	}
 }

@@ -1,0 +1,373 @@
+package trace
+
+import (
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// CompileOptions parameterizes Compile. Zero values select the simulator's
+// defaults, so a zero options value produces a trace the default scenario
+// consumes entirely from the compiled tables.
+type CompileOptions struct {
+	// Samples is the per-slot downsampled profile length (default 12, the
+	// simulator's ProfileSamples default; negative compiles no profiles).
+	Samples int
+	// FineStepSec is the green-controller period the per-slot utilization
+	// rows are sampled at (default 5 s, the paper's). The rows reproduce the
+	// simulator's fine loop exactly: row k holds Util at the step of the
+	// k-th iteration of `for t := 0.0; t < 3600; t += FineStepSec`.
+	FineStepSec float64
+	// MaxFineTableBytes bounds the fine-step utilization table (default
+	// 256 MiB; negative disables it). When the table would exceed the
+	// budget — a paper-scale fleet at 5 s steps — it is skipped and Util
+	// queries fall through to the underlying source; profiles and volumes
+	// always materialize.
+	MaxFineTableBytes int64
+}
+
+const defaultMaxFineTableBytes = 256 << 20
+
+func (o *CompileOptions) applyDefaults() {
+	if o.Samples == 0 {
+		o.Samples = 12
+	}
+	if o.FineStepSec <= 0 {
+		o.FineStepSec = timeutil.StepSeconds
+	}
+	if o.MaxFineTableBytes == 0 {
+		o.MaxFineTableBytes = defaultMaxFineTableBytes
+	}
+}
+
+// Compiled is a workload materialized into dense, immutable flat arrays:
+// per-slot per-VM downsampled profiles, per-slot fine-step utilization rows,
+// and per-slot realized and planned volume entry lists. It implements
+// Source, returns byte-identical values to the source it was compiled from,
+// and is safe for any number of concurrent readers — the experiment engine
+// compiles a workload once per scenario x seed and shares it across every
+// policy run of that cell column, so policies pay the synthesis cost once
+// instead of once per run.
+//
+// Memory is proportional to active VM-slots: profiles cost
+// Samples x 8 bytes per VM-slot and the fine table FineSteps x 8 bytes per
+// VM-slot (bounded by CompileOptions.MaxFineTableBytes).
+type Compiled struct {
+	src     Source
+	slots   timeutil.Slot
+	numVMs  int
+	samples int
+	dt      float64
+	steps   int // fine steps per slot; 0 when the fine table is absent
+
+	images []units.DataSize
+
+	profStart []timeutil.Slot
+	prof      [][]float64 // per VM, rows flattened at samples per slot
+
+	fineStart []timeutil.Slot
+	fine      [][]float64 // per VM, rows flattened at steps per slot
+
+	vols    [][]VolumeEntry // realized, per slot
+	planned [][]VolumeEntry // PlannedVolumes(obsSlot(sl), sl), per slot
+}
+
+var _ Source = (*Compiled)(nil)
+
+// slotProfileFiller is implemented by sources that can write a profile into
+// a caller-owned buffer; Compile uses it to avoid one allocation per
+// VM-slot.
+type slotProfileFiller interface {
+	FillSlotProfile(dst []float64, id int, sl timeutil.Slot)
+}
+
+// obsSlot returns the slot whose observations drive the controllers acting
+// at sl: the previous one, with slot 0 bootstrapping from itself.
+func obsSlot(sl timeutil.Slot) timeutil.Slot {
+	if sl > 0 {
+		return sl - 1
+	}
+	return 0
+}
+
+// fineStepsPerSlot counts the iterations of the simulator's fine loop for a
+// step of dt seconds.
+func fineStepsPerSlot(dt float64) int {
+	k := 0
+	for t := 0.0; t < timeutil.SlotSeconds; t += dt {
+		k++
+	}
+	return k
+}
+
+// profileToFine maps, per slot, each profile sample index to the fine-row
+// index that reads the same Util step (the profile grid is start+i*stride,
+// mirroring Workload.FillSlotProfile), or nil for slots where any sample
+// lies outside the fine grid.
+func profileToFine(stepsBySlot [][]timeutil.Step, samples int) [][]int {
+	stride := timeutil.StepsPerSlot / samples
+	if stride < 1 {
+		stride = 1
+	}
+	out := make([][]int, len(stepsBySlot))
+	for sl, fs := range stepsBySlot {
+		m := make([]int, samples)
+		ok := true
+		start := timeutil.Slot(sl).Start()
+		for i := 0; i < samples; i++ {
+			want := start + timeutil.Step(i*stride)
+			k := -1
+			for j, st := range fs {
+				if st == want {
+					k = j
+					break
+				}
+			}
+			if k < 0 {
+				ok = false
+				break
+			}
+			m[i] = k
+		}
+		if ok {
+			out[sl] = m
+		}
+	}
+	return out
+}
+
+// Compile materializes src into flat per-slot tables. Compiling an already
+// compiled trace with compatible options returns it unchanged.
+func Compile(src Source, opt CompileOptions) *Compiled {
+	opt.applyDefaults()
+	if c, ok := src.(*Compiled); ok {
+		if c.samples == opt.Samples && c.dt == opt.FineStepSec {
+			return c
+		}
+		src = c.src // recompile from the original source
+	}
+	c := &Compiled{
+		src:     src,
+		slots:   src.Slots(),
+		numVMs:  src.NumVMs(),
+		samples: opt.Samples,
+		dt:      opt.FineStepSec,
+	}
+	slots := int(c.slots)
+
+	c.images = make([]units.DataSize, c.numVMs)
+	for id := range c.images {
+		c.images[id] = src.Image(id)
+	}
+
+	// Active windows from the per-slot active lists.
+	first := make([]timeutil.Slot, c.numVMs)
+	last := make([]timeutil.Slot, c.numVMs)
+	for id := range first {
+		first[id] = -1
+	}
+	for sl := timeutil.Slot(0); sl < c.slots; sl++ {
+		for _, id := range src.ActiveVMs(sl) {
+			if id < 0 || id >= c.numVMs {
+				continue
+			}
+			if first[id] < 0 {
+				first[id] = sl
+			}
+			last[id] = sl
+		}
+	}
+
+	// Fine-step utilization rows over each VM's active window, within the
+	// memory budget. The per-slot step lists are hoisted out of the per-VM
+	// loop; they replicate the simulator's fine loop bit-for-bit,
+	// including its floating-point time accumulation.
+	steps := fineStepsPerSlot(c.dt)
+	var fineBytes int64
+	for id := 0; id < c.numVMs; id++ {
+		if first[id] >= 0 {
+			fineBytes += int64(last[id]-first[id]+1) * int64(steps) * 8
+		}
+	}
+	var stepsBySlot [][]timeutil.Step
+	if opt.MaxFineTableBytes > 0 && fineBytes <= opt.MaxFineTableBytes {
+		stepsBySlot = make([][]timeutil.Step, slots)
+		for sl := timeutil.Slot(0); sl < c.slots; sl++ {
+			row := make([]timeutil.Step, 0, steps)
+			start := sl.Seconds()
+			for t := 0.0; t < timeutil.SlotSeconds; t += c.dt {
+				row = append(row, timeutil.Step(int64(start+t)/timeutil.StepSeconds))
+			}
+			stepsBySlot[sl] = row
+		}
+		c.steps = steps
+		c.fineStart = make([]timeutil.Slot, c.numVMs)
+		c.fine = make([][]float64, c.numVMs)
+		for id := 0; id < c.numVMs; id++ {
+			if first[id] < 0 {
+				continue
+			}
+			c.fineStart[id] = first[id]
+			rows := make([]float64, int(last[id]-first[id]+1)*steps)
+			c.fine[id] = rows
+			for sl := first[id]; sl <= last[id]; sl++ {
+				row := rows[int(sl-first[id])*steps:]
+				for k, step := range stepsBySlot[sl] {
+					row[k] = src.Util(id, step)
+				}
+			}
+		}
+	}
+
+	// Profiles: the controller acting at sl observes obsSlot(sl), so a VM
+	// active over [first, last] needs rows for [max(0, first-1), last-1]
+	// (slot 0 observes itself, which that window covers). Where the
+	// profile's sampling grid is a subset of a compiled fine row's — the
+	// common case for the synthetic workload, whose profiles are Util
+	// sampled at strided steps — the row is assembled from the fine table
+	// instead of re-synthesizing the trace.
+	if c.samples > 0 {
+		filler, _ := src.(slotProfileFiller)
+		var profToFine [][]int
+		if _, utilSampled := src.(*Workload); utilSampled && c.steps > 0 {
+			profToFine = profileToFine(stepsBySlot, c.samples)
+		}
+		c.profStart = make([]timeutil.Slot, c.numVMs)
+		c.prof = make([][]float64, c.numVMs)
+		for id := 0; id < c.numVMs; id++ {
+			if first[id] < 0 {
+				continue
+			}
+			start := obsSlot(first[id])
+			end := obsSlot(last[id])
+			c.profStart[id] = start
+			rows := make([]float64, int(end-start+1)*c.samples)
+			c.prof[id] = rows
+			for sl := start; sl <= end; sl++ {
+				row := rows[int(sl-start)*c.samples : int(sl-start+1)*c.samples]
+				if profToFine != nil && profToFine[sl] != nil {
+					if fr := c.FineRow(id, sl); fr != nil {
+						for i, k := range profToFine[sl] {
+							row[i] = fr[k]
+						}
+						continue
+					}
+				}
+				if filler != nil {
+					filler.FillSlotProfile(row, id, sl)
+				} else {
+					copy(row, src.SlotProfile(id, sl, c.samples))
+				}
+			}
+		}
+	}
+
+	// Volume entry lists, realized and planned. Slot 0's planned list is
+	// still asked of the source — PlannedVolumes(0, 0) need not equal
+	// Volumes(0) for every implementation (Replay filters by lifetime).
+	c.vols = make([][]VolumeEntry, slots)
+	c.planned = make([][]VolumeEntry, slots)
+	for sl := timeutil.Slot(0); sl < c.slots; sl++ {
+		c.vols[sl] = src.Volumes(sl)
+		c.planned[sl] = src.PlannedVolumes(obsSlot(sl), sl)
+	}
+	return c
+}
+
+// Source returns the workload the trace was compiled from.
+func (c *Compiled) Source() Source { return c.src }
+
+// NumVMs implements Source.
+func (c *Compiled) NumVMs() int { return c.numVMs }
+
+// Slots implements Source.
+func (c *Compiled) Slots() timeutil.Slot { return c.slots }
+
+// Image implements Source from the materialized image table.
+func (c *Compiled) Image(id int) units.DataSize {
+	if id < 0 || id >= c.numVMs {
+		return 0
+	}
+	return c.images[id]
+}
+
+// Images returns the materialized per-VM image sizes, indexed by id. The
+// slice is shared; callers must not modify it.
+func (c *Compiled) Images() []units.DataSize { return c.images }
+
+// ActiveVMs implements Source (the underlying source's index is already
+// materialized).
+func (c *Compiled) ActiveVMs(sl timeutil.Slot) []int { return c.src.ActiveVMs(sl) }
+
+// Util implements Source by delegating to the underlying source: arbitrary
+// step queries stay exact whether or not the fine table covers them. The
+// simulator's fine loop reads FineRow instead.
+func (c *Compiled) Util(id int, st timeutil.Step) float64 { return c.src.Util(id, st) }
+
+// Samples returns the compiled per-slot profile length.
+func (c *Compiled) Samples() int { return c.samples }
+
+// FineParams returns the fine-loop period the utilization rows were sampled
+// at and the number of steps per slot; steps is 0 when the fine table was
+// not compiled (memory budget exceeded or disabled).
+func (c *Compiled) FineParams() (dt float64, steps int) { return c.dt, c.steps }
+
+// FineRow returns the VM's utilization at every fine step of slot sl — row
+// k is Util at the k-th iteration of the simulator's fine loop — or nil
+// when the table does not cover (id, sl). The row is shared and read-only.
+func (c *Compiled) FineRow(id int, sl timeutil.Slot) []float64 {
+	if c.steps == 0 || id < 0 || id >= c.numVMs || c.fine[id] == nil {
+		return nil
+	}
+	off := int(sl - c.fineStart[id])
+	if off < 0 || (off+1)*c.steps > len(c.fine[id]) {
+		return nil
+	}
+	return c.fine[id][off*c.steps : (off+1)*c.steps]
+}
+
+// ProfileRow returns the VM's compiled profile for slot sl, or nil when the
+// table does not cover (id, sl). The row is shared and read-only — hand it
+// to a correlation.ProfileSet without copying.
+func (c *Compiled) ProfileRow(id int, sl timeutil.Slot) []float64 {
+	if c.samples <= 0 || id < 0 || id >= c.numVMs || c.prof[id] == nil {
+		return nil
+	}
+	off := int(sl - c.profStart[id])
+	if off < 0 || (off+1)*c.samples > len(c.prof[id]) {
+		return nil
+	}
+	return c.prof[id][off*c.samples : (off+1)*c.samples]
+}
+
+// SlotProfile implements Source. Covered (id, slot, n=Samples) queries copy
+// the compiled row (callers own the result, per the Source contract);
+// anything else falls through to the underlying source.
+func (c *Compiled) SlotProfile(id int, sl timeutil.Slot, n int) []float64 {
+	if n == c.samples {
+		if row := c.ProfileRow(id, sl); row != nil {
+			out := make([]float64, n)
+			copy(out, row)
+			return out
+		}
+	}
+	return c.src.SlotProfile(id, sl, n)
+}
+
+// Volumes implements Source. The slice is shared; callers must not modify
+// it.
+func (c *Compiled) Volumes(sl timeutil.Slot) []VolumeEntry {
+	if sl < 0 || int(sl) >= len(c.vols) {
+		return nil
+	}
+	return c.vols[sl]
+}
+
+// PlannedVolumes implements Source. The simulator's pattern — obs one slot
+// behind act — is served from the compiled table; other queries fall
+// through to the underlying source.
+func (c *Compiled) PlannedVolumes(obs, act timeutil.Slot) []VolumeEntry {
+	if act >= 0 && int(act) < len(c.planned) && obs == obsSlot(act) {
+		return c.planned[act]
+	}
+	return c.src.PlannedVolumes(obs, act)
+}

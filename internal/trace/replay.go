@@ -61,17 +61,26 @@ func (r *Replay) ActiveVMs(sl timeutil.Slot) []int {
 // SlotProfile implements Source, resampling the stored profile to n points.
 func (r *Replay) SlotProfile(id int, sl timeutil.Slot, n int) []float64 {
 	out := make([]float64, n)
+	r.FillSlotProfile(out, id, sl)
+	return out
+}
+
+// FillSlotProfile is the allocation-free variant of SlotProfile: it
+// resamples the stored profile into dst (absent profiles read as zero).
+func (r *Replay) FillSlotProfile(dst []float64, id int, sl timeutil.Slot) {
+	n := len(dst)
 	if id < 0 || id >= len(r.profiles) || sl < 0 || int(sl) >= len(r.profiles[id]) {
-		return out
+		clear(dst)
+		return
 	}
 	prof := r.profiles[id][sl]
 	if len(prof) == 0 {
-		return out
+		clear(dst)
+		return
 	}
 	for i := 0; i < n; i++ {
-		out[i] = prof[i*len(prof)/n]
+		dst[i] = prof[i*len(prof)/n]
 	}
-	return out
 }
 
 // Util implements Source: the stored sample covering the step, held
@@ -105,8 +114,9 @@ func (r *Replay) Volumes(sl timeutil.Slot) []VolumeEntry {
 // to VMs alive at the acting slot (a replay has no service topology to
 // extrapolate from).
 func (r *Replay) PlannedVolumes(obs, act timeutil.Slot) []VolumeEntry {
-	var out []VolumeEntry
-	for _, e := range r.Volumes(obs) {
+	vols := r.Volumes(obs)
+	out := make([]VolumeEntry, 0, len(vols))
+	for _, e := range vols {
 		if r.aliveAt(e.From, act) && r.aliveAt(e.To, act) {
 			out = append(out, e)
 		}
