@@ -315,3 +315,82 @@ func writeBenchArtifact(b *testing.B, path string, meanCost, cellsPerSec float64
 		b.Fatal(err)
 	}
 }
+
+// benchLargeSpec is the global-phase stress scenario: the geo5dc-large
+// preset (1800 servers, ~12600 initial VMs — well past the embedding's
+// exact-mode threshold) over a deliberately short horizon, so the benchmark
+// measures the per-slot global phase at the fleet size it targets rather
+// than a long week of it.
+func benchLargeSpec() Spec {
+	spec := MustPreset("geo5dc-large")
+	spec.Seed = 42
+	spec.Horizon = HoursOf(3)
+	spec.FineStepSec = 900
+	return spec
+}
+
+// BenchmarkGlobalPhase measures the paper's global phase at scale: a single
+// Proposed-only cell on the geo5dc-large preset. The serial variant pins
+// Parallelism to 1 — no intra-cell sharding, so gains over older commits
+// isolate the pruned peak-coincidence kernel — and the parallel variant
+// lends the cell the full GOMAXPROCS budget, so the same slots additionally
+// scale across the intra-cell shards (embedding passes, k-means distances,
+// fine plans, workload compilation). Reported: simulated slots per second
+// and the cell's cost, which must be identical across both variants.
+//
+// When GEOVMP_BENCH_GLOBAL_JSON names a path, the parallel variant writes
+// its headline numbers there (CI uploads it as BENCH_global.json).
+func BenchmarkGlobalPhase(b *testing.B) {
+	spec := benchLargeSpec()
+	slots := float64(spec.Horizon.Slots)
+	run := func(b *testing.B, parallelism int) (costEUR, slotsPerSec float64) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			set, err := NewExperiment(
+				WithScenarios(spec),
+				WithPolicies(StandardPolicies(0.9)[:1]...),
+				WithParallelism(parallelism),
+			).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			costEUR = float64(set.At(0, 0, 0).Result.OpCost)
+		}
+		slotsPerSec = slots * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(slotsPerSec, "slots/s")
+		b.ReportMetric(costEUR, "eur-proposed")
+		return costEUR, slotsPerSec
+	}
+	var serialCost float64
+	b.Run("serial", func(b *testing.B) {
+		serialCost, _ = run(b, 1)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		cost, slotsPerSec := run(b, 0)
+		if serialCost != 0 && cost != serialCost {
+			b.Fatalf("parallel cost %v != serial cost %v — sharding changed results", cost, serialCost)
+		}
+		if path := os.Getenv("GEOVMP_BENCH_GLOBAL_JSON"); path != "" && b.N > 0 {
+			artifact := struct {
+				Benchmark   string  `json:"benchmark"`
+				N           int     `json:"n"`
+				SlotsPerSec float64 `json:"slots_per_sec"`
+				ProposedEUR float64 `json:"policy_cost_eur_proposed"`
+				NsPerOp     float64 `json:"ns_per_op"`
+			}{
+				Benchmark:   "BenchmarkGlobalPhase/parallel",
+				N:           b.N,
+				SlotsPerSec: slotsPerSec,
+				ProposedEUR: cost,
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			}
+			out, err := json.MarshalIndent(artifact, "", "  ")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -9,10 +9,12 @@
 //	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast]
 //	            [-scale 0.05] [-seed 42] [-seeds 1] [-days 7] [-finestep 60]
 //	            [-par 0] [-out results] [-json results/cells.json]
-//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
 // The profiling flags write pprof profiles covering the sweep — the fastest
-// way to see where a configuration spends its time (`go tool pprof`).
+// way to see where a configuration spends its time (`go tool pprof`) — and
+// -trace writes a runtime/trace for `go tool trace`, the tool of choice for
+// diagnosing shard imbalance in the intra-cell parallel passes.
 //
 // The paper's full configuration is -scale 1 -days 7 -finestep 5; the
 // defaults trade fleet size for wall-clock time while preserving the
@@ -27,6 +29,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"geovmp"
@@ -46,10 +49,11 @@ var (
 	jsonOut  = flag.String("json", "", "write the figures sweep's ResultSet as JSON to this path")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this path")
 	memProf  = flag.String("memprofile", "", "write a heap profile at exit to this path")
+	traceOut = flag.String("trace", "", "write a runtime/trace of the sweep to this path (inspect shard balance with `go tool trace`)")
 )
 
-// startProfiles begins CPU profiling (when requested) and returns a
-// function writing the requested profiles at exit.
+// startProfiles begins CPU profiling and execution tracing (when requested)
+// and returns a function writing the requested profiles at exit.
 func startProfiles() (stop func(), err error) {
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -63,6 +67,30 @@ func startProfiles() (stop func(), err error) {
 		stop = func() {
 			pprof.StopCPUProfile()
 			f.Close()
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			if stop != nil {
+				stop()
+			}
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			if stop != nil {
+				stop()
+			}
+			return nil, err
+		}
+		prev := stop
+		stop = func() {
+			trace.Stop()
+			f.Close()
+			if prev != nil {
+				prev()
+			}
 		}
 	}
 	if *memProf != "" {

@@ -113,8 +113,15 @@ func WithSeeds(n int) ExperimentOption {
 	}
 }
 
-// WithParallelism caps how many grid cells run concurrently; n <= 0 (the
-// default) selects GOMAXPROCS. Any parallelism yields identical results.
+// WithParallelism sets the sweep's total worker budget; n <= 0 (the
+// default) selects GOMAXPROCS. The budget covers both concurrently running
+// grid cells and the intra-cell shards those cells spawn: min(n, cells)
+// goroutines run cells, the remainder is a shared budget the cells'
+// sharded passes (embedding, clustering, fine-plan evaluation, workload
+// compilation) borrow from, and a cell worker that runs out of cells
+// donates its slot back. A narrow grid on a big machine therefore still
+// saturates n workers, and cells x shards never exceed it. Any value
+// yields byte-identical results.
 func WithParallelism(n int) ExperimentOption {
 	return func(e *Experiment) { e.grid.Parallelism = n }
 }

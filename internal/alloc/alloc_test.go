@@ -230,11 +230,15 @@ func TestFewerOrEqualServersThanPlain(t *testing.T) {
 
 func TestServerOfMapping(t *testing.T) {
 	m := power.E5410()
-	profiles := map[int][]float64{0: {5, 5}, 1: {5, 5}, 2: {1, 1}}
+	// Id 1 is deliberately absent: the dense lookup must mark the hole -1.
+	profiles := map[int][]float64{0: {5, 5}, 2: {5, 5}, 3: {1, 1}}
 	res := CorrelationAware(idsOf(profiles), buildPS(profiles), m, 10)
 	byVM := res.ServerOf()
-	if len(byVM) != 3 {
-		t.Fatalf("mapping size %d", len(byVM))
+	if len(byVM) != 4 {
+		t.Fatalf("mapping size %d, want max id + 1 = 4", len(byVM))
+	}
+	if byVM[1] != -1 {
+		t.Fatalf("unplaced id 1 mapped to %d, want -1", byVM[1])
 	}
 	for s, srv := range res.Servers {
 		for _, id := range srv.VMs {

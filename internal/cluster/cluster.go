@@ -27,8 +27,10 @@ import (
 	"cmp"
 	"math"
 	"slices"
+	"sync"
 
 	"geovmp/internal/embed"
+	"geovmp/internal/par"
 )
 
 // Item is one VM to cluster.
@@ -52,6 +54,12 @@ type Config struct {
 	// cluster's centroid, making staying cheaper than moving — migration
 	// hysteresis. 0 or 1 disables the bias.
 	Stick float64
+	// Workers optionally lends extra goroutines to the per-iteration
+	// item-to-centroid distance computation (the sqrt-heavy part of the
+	// assignment step). Distances are written disjointly per item, so
+	// results are bit-identical at any worker count; the capacity-aware
+	// assignment itself stays serial — it is order-dependent by design.
+	Workers *par.Budget
 }
 
 func (c *Config) applyDefaults() {
@@ -119,10 +127,36 @@ func Run(items []Item, cfg Config) Result {
 	// Assignments are tracked in a slice keyed by item index during the
 	// iterations; the id-keyed result map is materialized once at the end.
 	assign := make([]int, len(items))
+	// Per-iteration item-to-centroid distances, hoisted out of the serial
+	// assignment loop: distances depend on positions and centroids but not
+	// on the evolving loads, so they are computed in one sharded pass
+	// (disjoint writes per item — bit-identical at any worker count) and
+	// the order-dependent assignment below just reads them. The buffer is
+	// pooled: Run executes once per slot per cell, and a fresh
+	// items x K array every simulated hour would be a steady-state
+	// allocation on the hot path.
+	const distGrain = 64
+	distBuf := distPool.Get().(*[]float64)
+	defer distPool.Put(distBuf)
+	if need := len(items) * cfg.K; cap(*distBuf) < need {
+		*distBuf = make([]float64, need)
+	} else {
+		*distBuf = (*distBuf)[:need]
+	}
+	dists := *distBuf
 	res := Result{}
 	var loads []float64
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		res.Iters = iter + 1
+		par.For(cfg.Workers, len(items), distGrain, func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				pos := items[idx].Pos
+				row := dists[idx*cfg.K : (idx+1)*cfg.K]
+				for c := 0; c < cfg.K; c++ {
+					row[c] = embed.Dist(pos, cents[c])
+				}
+			}
+		})
 		loads = make([]float64, cfg.K)
 		for _, idx := range order {
 			it := items[idx]
@@ -132,7 +166,7 @@ func Run(items []Item, cfg Config) Result {
 				if loads[c]+it.Load > cfg.Caps[c] {
 					continue
 				}
-				d := embed.Dist(it.Pos, cents[c])
+				d := dists[idx*cfg.K+c]
 				if cfg.Stick > 0 && cfg.Stick < 1 && c == it.Current {
 					d *= cfg.Stick
 				}
@@ -187,6 +221,9 @@ func Run(items []Item, cfg Config) Result {
 	res.LoadPer = loads
 	return res
 }
+
+// distPool recycles Run's per-call distance buffers across slots.
+var distPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // CentroidsOf recomputes centroids for an externally-supplied assignment —
 // the hook for carrying "last position of points available in that cluster"

@@ -56,7 +56,7 @@ func TestCompiledMatchesSynthesized(t *testing.T) {
 			spec := compileSpec(t, preset, seed)
 
 			live := runWith(t, spec, nil, nil)
-			compiled, err := CompileWorkload(spec)
+			compiled, err := CompileWorkload(spec, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +70,7 @@ func TestCompiledMatchesSynthesized(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, spec.FineStepSec)
+			env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, spec.FineStepSec, nil)
 			withEnv := runWith(t, spec, compiled, env)
 			if !reflect.DeepEqual(live, withEnv) {
 				t.Errorf("%s seed %d: compiled-environment run differs from live run", preset, seed)
@@ -96,7 +96,7 @@ func TestCompiledMatchesSynthesizedEnerAware(t *testing.T) {
 		return res
 	}
 	live := build(nil)
-	compiled, err := CompileWorkload(spec)
+	compiled, err := CompileWorkload(spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,12 +109,12 @@ func TestCompiledMatchesSynthesizedEnerAware(t *testing.T) {
 // the same parameters returns it unchanged.
 func TestCompileWorkloadIdempotent(t *testing.T) {
 	spec := compileSpec(t, "paper-geo3dc", 3)
-	c1, err := CompileWorkload(spec)
+	c1, err := CompileWorkload(spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.Workload = c1
-	c2, err := CompileWorkload(spec)
+	c2, err := CompileWorkload(spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"geovmp/internal/dc"
 	"geovmp/internal/green"
 	"geovmp/internal/network"
+	"geovmp/internal/par"
 	"geovmp/internal/power"
 	"geovmp/internal/sim"
 	"geovmp/internal/solar"
@@ -291,8 +292,9 @@ func NewWorkload(spec Spec) (trace.Source, error) {
 // fine-step parameters, so the simulator consumes it entirely from flat
 // arrays. The result is safe for concurrent readers; the experiment engine
 // compiles one per scenario x seed and shares it across that cell column's
-// policy runs.
-func CompileWorkload(spec Spec) (*trace.Compiled, error) {
+// policy runs. The optional worker budget shards the table builds
+// (byte-identical output at any worker count; nil compiles serially).
+func CompileWorkload(spec Spec, workers *par.Budget) (*trace.Compiled, error) {
 	spec.applyDefaults()
 	w, err := NewWorkload(spec)
 	if err != nil {
@@ -305,5 +307,6 @@ func CompileWorkload(spec Spec) (*trace.Compiled, error) {
 	return trace.Compile(w, trace.CompileOptions{
 		Samples:     samples,
 		FineStepSec: sim.ResolveFineStep(spec.FineStepSec),
+		Workers:     workers,
 	}), nil
 }

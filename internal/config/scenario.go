@@ -243,6 +243,14 @@ var presetBuilders = map[string]func() Spec{
 	// A five-site European fleet: Table I plus Dublin and Milan, with a
 	// great-circle mesh backbone.
 	"geo5dc": func() Spec { return Spec{Name: "geo5dc", Sites: geo5dcSites()} },
+	// The five-site fleet at 40% of full scale — 1800 servers, ~12600
+	// initial VMs: the paper-scale stress preset the global-phase
+	// benchmarks and the intra-cell sharding target. Pair it with a short
+	// horizon (the Spec default is still the full week) unless you mean to
+	// wait.
+	"geo5dc-large": func() Spec {
+		return Spec{Name: "geo5dc-large", Sites: geo5dcSites(), Scale: 0.4}
+	},
 }
 
 // Preset returns the named scenario spec. Callers may further customize the

@@ -115,7 +115,11 @@ func (f *field) Force(onto, by int) float64 {
 
 // RepulsionRow implements embed.SplitField: the peak-coincidence term is
 // symmetric, so the dense cache evaluates it once per unordered pair, one
-// bulk profile-set sweep per row.
+// bulk profile-set sweep per row — and the sampled mode batches each
+// point's hashed partners through it, skipping the volume-matrix probe
+// Force pays on non-communicating pairs. For such pairs Force computes
+// alpha*0 + (1-alpha)*fr, which equals this row's (1-alpha)*fr bit for
+// bit, satisfying the SplitField decomposition contract.
 func (f *field) RepulsionRow(a int, bs []int, dst []float64) {
 	f.ps.CPUCorrInto(dst, a, bs)
 	w := 1 - f.alpha
@@ -322,6 +326,12 @@ func (c *Controller) Place(in *policy.Input) policy.Placement {
 		}
 	} else {
 		cfg := c.Embed
+		cfg.Workers = in.Workers
+		// The embedding queries CPU correlations from concurrent shards;
+		// precomputing the pruned kernel's sample orders here (itself
+		// sharded) makes the profile set read-only for the rest of the
+		// slot.
+		in.Profiles.EnsureOrders(in.Workers)
 		if c.positions == nil {
 			// Cold start: "initially, at time slot 0, all the points are
 			// distributed in the 2D plane" — give the layout room to
@@ -360,6 +370,7 @@ func (c *Controller) Place(in *policy.Input) policy.Placement {
 		Init:     c.centroids,
 		MaxIters: iters,
 		Stick:    stick,
+		Workers:  in.Workers,
 	})
 
 	// Step 4: migration revision (Algorithm 2).

@@ -18,6 +18,7 @@ package correlation
 import (
 	"math"
 
+	"geovmp/internal/par"
 	"geovmp/internal/units"
 )
 
@@ -152,6 +153,14 @@ type ProfileSet struct {
 	odd     [][]float64 // rows whose length differs from samples (retained)
 	peaks   []float64   // indexed by id; valid only where a row exists
 	ids     []int       // ids registered since the last Reset
+	// ord mirrors the arena at one uint16 per sample: for every built row,
+	// the sample indices sorted by descending utilization — the walk order
+	// of the pruned peak-coincidence kernel. ordVal holds the utilization
+	// at each ord entry, so the kernel's own-profile reads are sequential
+	// instead of gathered. Built on demand by EnsureOrders;
+	// len(ord)/samples rows are valid.
+	ord    []uint16
+	ordVal []float64
 }
 
 const (
@@ -177,6 +186,8 @@ func (ps *ProfileSet) Reset() {
 	ps.ids = ps.ids[:0]
 	ps.arena = ps.arena[:0]
 	ps.odd = ps.odd[:0]
+	ps.ord = ps.ord[:0]
+	ps.ordVal = ps.ordVal[:0]
 }
 
 // Len returns the number of registered profiles.
@@ -258,11 +269,87 @@ func (ps *ProfileSet) Peak(id int) float64 {
 	return ps.peaks[id]
 }
 
+// EnsureOrders precomputes, for every standard-length profile registered so
+// far, its descending-by-utilization sample order — the walk order of the
+// pruned peak-coincidence kernel (see CPUCorr). The build is incremental
+// (only rows added since the last call are sorted), costs O(S log S) per
+// profile once per slot, and is sharded over rows via workers (nil runs
+// serially).
+//
+// Call it after the slot's Adds and before querying from multiple
+// goroutines: it is the only mutating step on the query side, so once it
+// returns, CPUCorr/CPUCorrInto are safe for any number of concurrent
+// readers. Queries without built orders fall back to the unpruned kernel
+// with identical results.
+func (ps *ProfileSet) EnsureOrders(workers *par.Budget) {
+	s := ps.samples
+	if s <= 0 || s > math.MaxUint16 {
+		return
+	}
+	rows := len(ps.arena) / s
+	built := len(ps.ord) / s
+	if built >= rows {
+		return
+	}
+	need := rows * s
+	if cap(ps.ord) < need {
+		grown := make([]uint16, need)
+		copy(grown, ps.ord)
+		ps.ord = grown
+		vals := make([]float64, need)
+		copy(vals, ps.ordVal)
+		ps.ordVal = vals
+	} else {
+		ps.ord = ps.ord[:need]
+		ps.ordVal = ps.ordVal[:need]
+	}
+	const rowGrain = 256
+	par.For(workers, rows-built, rowGrain, func(lo, hi int) {
+		for r := built + lo; r < built+hi; r++ {
+			row := ps.arena[r*s : (r+1)*s]
+			ord := ps.ord[r*s : (r+1)*s]
+			for i := range ord {
+				ord[i] = uint16(i)
+			}
+			// Insertion sort, descending by value; the strict comparison
+			// keeps equal samples in ascending index order (stable), so the
+			// order — and every downstream result — is deterministic.
+			for i := 1; i < s; i++ {
+				t := ord[i]
+				v := row[t]
+				j := i - 1
+				for j >= 0 && row[ord[j]] < v {
+					ord[j+1] = ord[j]
+					j--
+				}
+				ord[j+1] = t
+			}
+			vals := ps.ordVal[r*s : (r+1)*s]
+			for i, t := range ord {
+				vals[i] = row[t]
+			}
+		}
+	})
+}
+
+// orderAt returns the descending-utilization sample order of the arena row
+// at offset off and the utilizations in that order, or nils when orders
+// have not been built that far.
+func (ps *ProfileSet) orderAt(off int32) ([]uint16, []float64) {
+	end := int(off) + ps.samples
+	if end > len(ps.ord) {
+		return nil, nil
+	}
+	return ps.ord[off:end], ps.ordVal[off:end]
+}
+
 // CPUCorr returns the peak-coincidence CPU-load correlation of two
 // registered VMs; pairs with a missing profile return the neutral 0.5.
 // Equal-length profiles — the only shape the simulator produces — reuse the
-// peaks computed at Add time, so the O(V^2) pairwise sweep of the
-// clustering phase scans each pair once instead of three times.
+// peaks computed at Add time, and after EnsureOrders the pair is evaluated
+// by the pruned kernel, which walks the samples in descending order of VM
+// i's utilization and stops at the exact bound a[t]+peakB <= best. Results
+// are identical to PeakCoincidence in every case.
 func (ps *ProfileSet) CPUCorr(i, j int) float64 {
 	a := ps.Profile(i)
 	b := ps.Profile(j)
@@ -272,39 +359,65 @@ func (ps *ProfileSet) CPUCorr(i, j int) float64 {
 	if len(a) != len(b) {
 		return PeakCoincidence(a, b)
 	}
+	if off := ps.off[i]; off >= 0 {
+		if ord, av := ps.orderAt(off); ord != nil {
+			return peakCoincidenceOrdered(b, ord, av, ps.peaks[i], ps.peaks[j])
+		}
+	}
 	return peakCoincidenceKnown(a, b, ps.peaks[i], ps.peaks[j])
 }
 
 // CPUCorrInto fills dst[k] with CPUCorr(i, js[k]) — the bulk form the
-// embedding's dense force cache uses. Hoisting VM i's profile and peak out
-// of the O(V) inner loop, and reading partner rows straight out of the
-// arena, is worth ~25% of the whole pairwise sweep versus per-pair CPUCorr
-// calls. Results are identical.
+// embedding's dense force cache uses. Hoisting VM i's profile, peak and
+// sample order out of the O(V) inner loop, and reading partner rows
+// straight out of the arena, is worth ~25% of the whole pairwise sweep
+// versus per-pair CPUCorr calls. Odd-length partner rows ride the same
+// loop: equal-length pairs still reuse the cached peaks (full-row peaks
+// equal common-prefix peaks exactly when lengths match) and only truly
+// mixed-length pairs pay the general PeakCoincidence scan. Results are
+// identical to per-pair CPUCorr calls.
 func (ps *ProfileSet) CPUCorrInto(dst []float64, i int, js []int) {
 	a := ps.Profile(i)
-	peakA := ps.Peak(i)
-	if a == nil || len(a) != ps.samples {
-		for k, j := range js {
-			dst[k] = ps.CPUCorr(i, j)
+	if a == nil {
+		for k := range js {
+			dst[k] = 0.5
 		}
 		return
 	}
+	peakA := ps.Peak(i)
+	var ordA []uint16
+	var avA []float64
+	if off := ps.off[i]; off >= 0 {
+		ordA, avA = ps.orderAt(off)
+	}
+	aStd := len(a) == ps.samples
 	for k, j := range js {
-		if j < 0 || j >= len(ps.off) {
-			dst[k] = 0.5
-			continue
-		}
-		off := ps.off[j]
-		if off < 0 {
-			if off == absentRow {
-				dst[k] = 0.5
+		// The arena row is resolved inline: the overwhelmingly common
+		// standard-row partner costs one offset load instead of the
+		// general Profile switch.
+		if j >= 0 && j < len(ps.off) {
+			if off := ps.off[j]; off >= 0 && aStd {
+				b := ps.arena[off : int(off)+ps.samples]
+				if ordA != nil {
+					dst[k] = peakCoincidenceOrdered(b, ordA, avA, peakA, ps.peaks[j])
+				} else {
+					dst[k] = peakCoincidenceKnown(a, b, peakA, ps.peaks[j])
+				}
 				continue
 			}
-			dst[k] = ps.CPUCorr(i, j) // odd-length row: general path
-			continue
 		}
-		b := ps.arena[off : int(off)+ps.samples]
-		dst[k] = peakCoincidenceKnown(a, b, peakA, ps.peaks[j])
+		b := ps.Profile(j)
+		switch {
+		case b == nil:
+			dst[k] = 0.5
+		case len(b) != len(a):
+			dst[k] = PeakCoincidence(a, b)
+		default:
+			// Only equal-length odd x odd pairs reach here (a standard row
+			// paired with an equal-length partner was handled inline above),
+			// so there is never a sample order to prune with.
+			dst[k] = peakCoincidenceKnown(a, b, peakA, ps.peaks[j])
+		}
 	}
 }
 
@@ -354,6 +467,48 @@ func peakCoincidenceKnown(a, b []float64, peakA, peakB float64) float64 {
 		return 0.5
 	}
 	c := peakAB / den
+	if c < 1e-9 {
+		c = 1e-9
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// peakCoincidenceOrdered is the pruned form of peakCoincidenceKnown: it
+// walks the samples in descending order of a's utilization (ord and av,
+// built by EnsureOrders: av[s] == a[ord[s]]) and stops at the exact
+// early-exit bound
+//
+//	a[t] + peakB <= best  =>  stop:
+//
+// every unvisited sample of a is <= a[t], so no unvisited combined sample
+// can exceed best, and best already is the final combined peak. (Exact in
+// floating point too: rounded addition is monotone, so every unvisited
+// candidate fl(a[t']+b[t']) <= fl(a[t]+peakB) <= best.) The combined peak
+// is an exact max of the same a[t]+b[t] sums either way, so the result is
+// bit-identical to peakCoincidenceKnown — but a typical pair touches a
+// handful of samples instead of all S, which is what makes the O(V^2) pair
+// sweep of the global phase subquadratic in sample touches in practice.
+func peakCoincidenceOrdered(b []float64, ord []uint16, av []float64, peakA, peakB float64) float64 {
+	den := peakA + peakB
+	if den <= 0 {
+		// Covers empty and all-zero profiles: the neutral value, exactly as
+		// the unpruned kernels return.
+		return 0.5
+	}
+	best := math.Inf(-1)
+	for s, t := range ord {
+		at := av[s]
+		if at+peakB <= best {
+			break
+		}
+		if sum := at + b[t]; sum > best {
+			best = sum
+		}
+	}
+	c := best / den
 	if c < 1e-9 {
 		c = 1e-9
 	}

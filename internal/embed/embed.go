@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync"
 
+	"geovmp/internal/par"
 	"geovmp/internal/rng"
 )
 
@@ -57,7 +58,10 @@ type Field interface {
 // The exact mode uses it to build its dense force cache from one repulsion
 // evaluation per unordered pair plus one pass over the attraction edges,
 // instead of two full Force evaluations (each probing the volume matrix)
-// per pair. The decomposition must satisfy
+// per pair; the sampled mode batches each point's hashed repulsion partners
+// through one RepulsionRow call, skipping the volume probe that dominates
+// Force on the (overwhelmingly common) non-communicating pairs. The
+// decomposition must satisfy
 // Force(onto, by) == Repulsion(onto, by) + the attraction fa reported for
 // (onto, by), with Repulsion symmetric.
 type SplitField interface {
@@ -103,6 +107,14 @@ type Config struct {
 	// literal equation is recovered.
 	RepulsionScale float64
 	Seed           uint64 // keys deterministic scatter and sampling
+	// Workers optionally lends extra goroutines to the embedding's sharded
+	// passes: the exact mode's dense force-cache build and the sampled
+	// mode's per-point repulsion estimation, both of which write disjoint
+	// outputs per point and are therefore bit-identical to serial execution
+	// at any worker count. When set, the Field (and SplitField) must be
+	// safe for concurrent readers — the controller's correlation field is.
+	// Nil runs everything on the caller's goroutine.
+	Workers *par.Budget
 }
 
 func (c *Config) applyDefaults() {
@@ -210,6 +222,15 @@ func Run(ids []int, init map[int]Point, field Field, cfg Config) Result {
 	return finish(iters, cost)
 }
 
+// Shard grains of the parallel passes. Fixed constants keep shard
+// boundaries a pure function of the problem size (see internal/par), and
+// both are sized so a shard amortizes the claim overhead while leaving
+// enough shards for load balancing across the triangle's shrinking rows.
+const (
+	exactRowGrain     = 8  // rows per shard of the dense cache build
+	sampledPointGrain = 32 // points per shard of the sampled repulsion pass
+)
+
 // exactScratch pools runExact's O(n^2) caches so per-slot embeddings reuse
 // them instead of allocating ~4 n^2 floats each. Only i != j entries are
 // ever read, so recycled buffers need no clearing.
@@ -252,12 +273,16 @@ func runExact(ids []int, idx map[int]int, px, py []float64, field Field, cfg Con
 		// Structured build: one symmetric repulsion row per point, copied
 		// to both directions, then the sparse attraction edges on top.
 		// Addition order matches the blended Force expression exactly
-		// (fa + fr, commutative).
-		for i := 0; i < n; i++ {
-			row := ft[i*n+i+1 : i*n+n]
-			sf.RepulsionRow(ids[i], ids[i+1:], row)
-			copy(ftT[i*n+i+1:i*n+n], row)
-		}
+		// (fa + fr, commutative). Rows are sharded in contiguous batches —
+		// each shard writes only its own upper-triangle rows — so the build
+		// is bit-identical to the serial sweep at any worker count.
+		par.For(cfg.Workers, n, exactRowGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := ft[i*n+i+1 : i*n+n]
+				sf.RepulsionRow(ids[i], ids[i+1:], row)
+				copy(ftT[i*n+i+1:i*n+n], row)
+			}
+		})
 		sf.EachAttraction(func(onto, by int, fa float64) {
 			i, ok1 := idx[onto]
 			j, ok2 := idx[by]
@@ -291,18 +316,20 @@ func runExact(ids []int, idx map[int]int, px, py []float64, field Field, cfg Con
 	wftT := scr.wftT
 	sft := scr.sft
 	prevD := scr.prevD
-	for i := 0; i < n; i++ {
-		for k := i*n + i + 1; k < i*n+n; k++ {
-			wft[k] = weight(ft[k])
-			wftT[k] = weight(ftT[k])
-			sft[k] = ft[k] + ftT[k]
+	par.For(cfg.Workers, n, exactRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for k := i*n + i + 1; k < i*n+n; k++ {
+				wft[k] = weight(ft[k])
+				wftT[k] = weight(ftT[k])
+				sft[k] = ft[k] + ftT[k]
+			}
+			for j := i + 1; j < n; j++ {
+				dx := px[i] - px[j]
+				dy := py[i] - py[j]
+				prevD[i*n+j] = math.Sqrt(dx*dx + dy*dy)
+			}
 		}
-		for j := i + 1; j < n; j++ {
-			dx := px[i] - px[j]
-			dy := py[i] - py[j]
-			prevD[i*n+j] = math.Sqrt(dx*dx + dy*dy)
-		}
-	}
+	})
 
 	fx := make([]float64, n)
 	fy := make([]float64, n)
@@ -374,12 +401,17 @@ func runExact(ids []int, idx map[int]int, px, py []float64, field Field, cfg Con
 // (the stable subset), which preserves the stopping rule's intent.
 func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg Config) (int, []float64) {
 	n := len(ids)
+	sf, _ := field.(SplitField)
 	type apair struct {
 		i, j int
 		fij  float64 // on i by j
 		fji  float64 // on j by i
 	}
 	var apairs []apair
+	// attracted[i] lists the point indices declared as attraction peers of
+	// i (either direction): exactly the pairs PairField's repulsion-only
+	// fast path must not take.
+	attracted := make([][]int32, n)
 	seen := make(map[[2]int]bool)
 	for i, id := range ids {
 		for _, peer := range field.AttractionPeers(id) {
@@ -392,6 +424,8 @@ func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg C
 				continue
 			}
 			seen[key] = true
+			attracted[key[0]] = append(attracted[key[0]], int32(key[1]))
+			attracted[key[1]] = append(attracted[key[1]], int32(key[0]))
 			apairs = append(apairs, apair{
 				i: key[0], j: key[1],
 				fij: field.Force(ids[key[0]], ids[key[1]]),
@@ -443,27 +477,93 @@ func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg C
 			fx[p.j] -= weight(p.fji) * ux
 			fy[p.j] -= weight(p.fji) * uy
 		}
-		for i := 0; i < n; i++ {
-			for k := 0; k < cfg.SampleK; k++ {
-				j := int(rng.Hash(cfg.Seed, uint64(i), uint64(iter), uint64(k)) % uint64(n))
-				if j == i {
-					continue
-				}
-				f := field.Force(ids[i], ids[j])
-				if f <= 0 {
-					continue // attraction handled exactly above
-				}
-				dx := px[i] - px[j]
-				dy := py[i] - py[j]
-				d := math.Sqrt(dx*dx + dy*dy)
-				if d < 1e-9 {
-					ang := rng.Noise01(cfg.Seed, uint64(i), uint64(j), uint64(iter)) * 2 * math.Pi
-					dx, dy, d = math.Cos(ang), math.Sin(ang), 1
-				}
-				fx[i] += f * scale * dx / d
-				fy[i] += f * scale * dy / d
+		// The sampled repulsion estimate writes only fx[i]/fy[i] and reads
+		// only positions frozen for the whole pass, so sharding the points
+		// leaves every accumulation order — and hence every float — exactly
+		// as in the serial loop. With a SplitField, each point's hashed
+		// partners are batched through one RepulsionRow call — hoisting the
+		// point's profile state out of the per-sample loop and skipping the
+		// volume probe Force would pay — except the rare partners that are
+		// attraction peers, which keep the full Force evaluation. Each
+		// repulsion value is a pure per-pair function and the accumulation
+		// below runs in sample order either way, so both paths are
+		// bit-identical.
+		par.For(cfg.Workers, n, sampledPointGrain, func(lo, hi int) {
+			var scr *sampleScratch
+			if sf != nil {
+				scr = samplePool.Get().(*sampleScratch)
+				defer samplePool.Put(scr)
 			}
-		}
+			for i := lo; i < hi; i++ {
+				att := attracted[i]
+				var rep []float64 // repulsion per non-attracted sample, in sample order
+				var kj []int32
+				if sf != nil {
+					js := scr.js[:0]
+					kj = scr.kj[:0]
+					if len(att) == 0 {
+						// No attraction peers (the common point): every
+						// non-self sample takes the batched repulsion path.
+						for k := 0; k < cfg.SampleK; k++ {
+							j := int32(rng.Hash(cfg.Seed, uint64(i), uint64(iter), uint64(k)) % uint64(n))
+							kj = append(kj, j)
+							if int(j) != i {
+								js = append(js, ids[j])
+							}
+						}
+					} else {
+						for k := 0; k < cfg.SampleK; k++ {
+							j := int32(rng.Hash(cfg.Seed, uint64(i), uint64(iter), uint64(k)) % uint64(n))
+							kj = append(kj, j)
+							if int(j) != i && !containsIdx(att, j) {
+								js = append(js, ids[j])
+							}
+						}
+					}
+					if cap(scr.dst) < len(js) {
+						scr.dst = make([]float64, len(js))
+					}
+					rep = scr.dst[:len(js)]
+					sf.RepulsionRow(ids[i], js, rep)
+					scr.js, scr.kj = js, kj
+				}
+				cur := 0
+				for k := 0; k < cfg.SampleK; k++ {
+					var j int
+					var f float64
+					if sf != nil {
+						j = int(kj[k])
+						if j == i {
+							continue
+						}
+						if containsIdx(att, int32(j)) {
+							f = field.Force(ids[i], ids[j])
+						} else {
+							f = rep[cur]
+							cur++
+						}
+					} else {
+						j = int(rng.Hash(cfg.Seed, uint64(i), uint64(iter), uint64(k)) % uint64(n))
+						if j == i {
+							continue
+						}
+						f = field.Force(ids[i], ids[j])
+					}
+					if f <= 0 {
+						continue // attraction handled exactly above
+					}
+					dx := px[i] - px[j]
+					dy := py[i] - py[j]
+					d := math.Sqrt(dx*dx + dy*dy)
+					if d < 1e-9 {
+						ang := rng.Noise01(cfg.Seed, uint64(i), uint64(j), uint64(iter)) * 2 * math.Pi
+						dx, dy, d = math.Cos(ang), math.Sin(ang), 1
+					}
+					fx[i] += f * scale * dx / d
+					fy[i] += f * scale * dy / d
+				}
+			}
+		})
 		displace(px, py, fx, fy, cfg)
 
 		var cost float64
@@ -503,6 +603,27 @@ func displace(px, py, fx, fy []float64, cfg Config) {
 		py[i] += dy
 	}
 }
+
+// containsIdx reports membership in a point's (short) attraction-peer list.
+func containsIdx(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleScratch pools the sampled pass's per-shard batching buffers: the
+// hashed partner per sample (kj), the compacted non-attracted partner ids
+// (js) and their bulk repulsion values (dst).
+type sampleScratch struct {
+	js  []int
+	kj  []int32
+	dst []float64
+}
+
+var samplePool = sync.Pool{New: func() any { return new(sampleScratch) }}
 
 func min(a, b int) int {
 	if a < b {

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"geovmp/internal/config"
+	"geovmp/internal/core"
+	"geovmp/internal/policy"
+	"geovmp/internal/timeutil"
+)
+
+// TestIntraCellShardingDeterministic is the worker-budget guarantee of the
+// sharded global phase: a narrow grid — few cells, a fleet big enough to
+// take the sampled embedding path — produces byte-identical ResultSet JSON
+// at Parallelism 1 (all shards serial), 2, and GOMAXPROCS+6 (cells plus a
+// wide intra-cell budget). With more workers than cells, the surplus funds
+// the cells' internal shards (embedding force passes, k-means distances,
+// fine-plan evaluation, workload compilation), so this exercises every
+// sharded code path against the serial baseline.
+func TestIntraCellShardingDeterministic(t *testing.T) {
+	spec, err := config.Preset("geo5dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = 0.02 // ~630 VMs: above the embedding's exact threshold
+	spec.Seed = 17
+	spec.Horizon = timeutil.Hours(3)
+	spec.FineStepSec = 600
+	grid := func(parallelism int) Grid {
+		return Grid{
+			Scenarios: []config.Spec{spec},
+			Policies: []PolicySpec{
+				{Name: "Proposed", New: func(seed uint64) policy.Policy { return core.New(0.9, seed) }},
+			},
+			SeedOffsets: []uint64{0, 1},
+			Parallelism: parallelism,
+		}
+	}
+	base, err := Run(context.Background(), grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, runtime.GOMAXPROCS(0) + 6} {
+		set, err := Run(context.Background(), grid(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, set) {
+			t.Fatalf("Parallelism=%d: ResultSet differs from serial run", p)
+		}
+		js, err := set.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(baseJSON, js) {
+			t.Fatalf("Parallelism=%d: JSON export differs from serial run", p)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"geovmp/internal/config"
 	"geovmp/internal/metrics"
+	"geovmp/internal/par"
 	"geovmp/internal/policy"
 	"geovmp/internal/report"
 	"geovmp/internal/sim"
@@ -61,8 +62,15 @@ type Grid struct {
 	// SeedOffsets are added to each scenario's base seed; empty means the
 	// single offset 0.
 	SeedOffsets []uint64
-	// Parallelism caps the number of concurrently running cells; <= 0
-	// selects GOMAXPROCS.
+	// Parallelism is the sweep's total worker budget; <= 0 selects
+	// GOMAXPROCS. It caps concurrently running cells AND the extra
+	// goroutines those cells' intra-cell sharded passes (embedding,
+	// clustering, fine-plan evaluation, workload compilation) may borrow:
+	// min(Parallelism, cells) goroutines run cells, the remainder seeds a
+	// shared par.Budget, and retiring cell workers donate their slot back —
+	// so a narrow grid (few scenario x policy x seed cells, big fleets)
+	// still saturates the budget, and cells x shards never oversubscribe
+	// it. Results are byte-identical at any value.
 	Parallelism int
 	// Progress, when non-nil, is called after each cell completes. Calls
 	// are serialized but arrive in completion order, not grid order.
@@ -365,9 +373,14 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 			}
 		}
 	}
-	if workers > total {
-		workers = total
+	cellWorkers := workers
+	if cellWorkers > total {
+		cellWorkers = total
 	}
+	// The rest of the Parallelism budget funds intra-cell sharding; a
+	// retiring cell worker donates its slot so the tail of the sweep (and
+	// any narrow grid) can go wide inside the remaining cells.
+	budget := par.NewBudget(workers - cellWorkers)
 
 	// Cells are enqueued column-major — all policies of one scenario x seed
 	// column together — so a column's compiled tables are built, used and
@@ -412,10 +425,13 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 	done := 0
 	perPolicy := len(offsets)
 	perScenario := len(g.Policies) * perPolicy
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cellWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Out of jobs: this worker's slot funds intra-cell sharding in
+			// the cells still running.
+			defer budget.Release(1)
 			for idx := range jobs {
 				cell := &set.Cells[idx]
 				si := idx / perScenario
@@ -426,7 +442,7 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 					cell.Err = err
 					wl.done()
 				} else {
-					cell.Result, cell.Err = runCell(ctx, g.Scenarios[si], g.Policies[pi], cell.Seed, wl)
+					cell.Result, cell.Err = runCell(ctx, g.Scenarios[si], g.Policies[pi], cell.Seed, wl, budget)
 				}
 				if g.Progress != nil {
 					mu.Lock()
@@ -454,9 +470,9 @@ type sharedWorkload struct {
 	remaining atomic.Int64 // cells of the column not yet finished
 }
 
-func (s *sharedWorkload) get(spec config.Spec) (*trace.Compiled, *sim.Environment, error) {
+func (s *sharedWorkload) get(spec config.Spec, workers *par.Budget) (*trace.Compiled, *sim.Environment, error) {
 	s.once.Do(func() {
-		src, err := config.CompileWorkload(spec)
+		src, err := config.CompileWorkload(spec, workers)
 		if err != nil {
 			s.err = err
 			return
@@ -467,7 +483,7 @@ func (s *sharedWorkload) get(spec config.Spec) (*trace.Compiled, *sim.Environmen
 			s.err = err
 			return
 		}
-		env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, sc.FineStepSec)
+		env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, sc.FineStepSec, workers)
 		s.mu.Lock()
 		s.src, s.env = src, env
 		s.mu.Unlock()
@@ -488,11 +504,12 @@ func (s *sharedWorkload) done() {
 }
 
 // runCell evaluates one grid cell on fresh mutable state over the column's
-// shared workload and environment.
-func runCell(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64, wl *sharedWorkload) (*sim.Result, error) {
+// shared workload and environment, lending the run the sweep's shared
+// worker budget for its intra-cell sharded passes.
+func runCell(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64, wl *sharedWorkload, workers *par.Budget) (*sim.Result, error) {
 	defer wl.done()
 	spec.Seed = seed
-	w, env, err := wl.get(spec)
+	w, env, err := wl.get(spec, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -502,6 +519,7 @@ func runCell(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64, 
 		return nil, err
 	}
 	sc.Env = env
+	sc.Workers = workers
 	pol := ps.New(seed)
 	if pol == nil {
 		return nil, fmt.Errorf("experiment: policy %q constructor returned nil", ps.Name)

@@ -1,0 +1,169 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks the contract that matters for the
+// disjoint-write loops built on For: every index of [0, n) is visited
+// exactly once, for serial (nil budget) and parallel execution alike.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		budget *Budget
+	}{
+		{"nil-budget", nil},
+		{"empty-budget", NewBudget(0)},
+		{"wide-budget", NewBudget(16)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 7, 64, 1000} {
+				counts := make([]int32, n)
+				For(tc.budget, n, 13, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad shard [%d, %d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForShardBoundariesFixed asserts shard boundaries depend only on n and
+// grain, never on the budget: the exact same (lo, hi) set is produced with
+// and without extra workers.
+func TestForShardBoundariesFixed(t *testing.T) {
+	collect := func(b *Budget) map[[2]int]bool {
+		shards := make(chan [2]int, 64)
+		For(b, 100, 9, func(lo, hi int) { shards <- [2]int{lo, hi} })
+		close(shards)
+		out := map[[2]int]bool{}
+		for s := range shards {
+			out[s] = true
+		}
+		return out
+	}
+	serial := collect(nil)
+	parallel := collect(NewBudget(8))
+	if len(serial) != len(parallel) {
+		t.Fatalf("shard count differs: %d vs %d", len(serial), len(parallel))
+	}
+	for s := range serial {
+		if !parallel[s] {
+			t.Fatalf("shard %v missing from parallel execution", s)
+		}
+	}
+}
+
+// TestOrderedCombineOrder asserts combine sees shard results in ascending
+// shard order regardless of workers — the property that pins float
+// summation order.
+func TestOrderedCombineOrder(t *testing.T) {
+	for _, b := range []*Budget{nil, NewBudget(8)} {
+		var got []int
+		Ordered(b, 50, 7, func(lo, hi int) int { return lo }, func(lo int) {
+			got = append(got, lo)
+		})
+		want := []int{0, 7, 14, 21, 28, 35, 42, 49}
+		if len(got) != len(want) {
+			t.Fatalf("combine calls = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("combine order %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestOrderedReductionDeterministic sums hashed floats — a non-associative
+// reduction — and expects the identical bit pattern at every worker count.
+func TestOrderedReductionDeterministic(t *testing.T) {
+	sum := func(b *Budget) float64 {
+		var total float64
+		Ordered(b, 10000, 64, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += 1.0 / float64(i+1)
+			}
+			return s
+		}, func(s float64) { total += s })
+		return total
+	}
+	want := sum(nil)
+	for _, extra := range []int{1, 3, 16} {
+		if got := sum(NewBudget(extra)); got != want {
+			t.Fatalf("extra=%d: sum %v != serial-shard sum %v", extra, got, want)
+		}
+	}
+}
+
+// TestBudgetAccounting exercises acquire/release bookkeeping, including the
+// nil receiver.
+func TestBudgetAccounting(t *testing.T) {
+	var nilB *Budget
+	if nilB.Acquire(4) != 0 {
+		t.Fatal("nil budget granted workers")
+	}
+	nilB.Release(4) // must not panic
+
+	b := NewBudget(3)
+	if got := b.Acquire(2); got != 2 {
+		t.Fatalf("Acquire(2) = %d, want 2", got)
+	}
+	if got := b.Acquire(5); got != 1 {
+		t.Fatalf("Acquire(5) = %d, want the remaining 1", got)
+	}
+	if got := b.Acquire(1); got != 0 {
+		t.Fatalf("Acquire on empty budget = %d, want 0", got)
+	}
+	b.Release(3)
+	if got := b.Extra(); got != 3 {
+		t.Fatalf("Extra after release = %d, want 3", got)
+	}
+	// Released slots beyond the initial allowance are allowed: retiring
+	// sweep workers donate their own slot.
+	b.Release(1)
+	if got := b.Extra(); got != 4 {
+		t.Fatalf("Extra after donation = %d, want 4", got)
+	}
+}
+
+// TestForConcurrentHolders drives many For loops that share one budget from
+// concurrent goroutines — the engine's narrow-grid shape — mostly for the
+// race detector's benefit.
+func TestForConcurrentHolders(t *testing.T) {
+	b := NewBudget(4)
+	done := make(chan [256]int64, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var out [256]int64
+			For(b, len(out), 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = int64(i * i)
+				}
+			})
+			done <- out
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		out := <-done
+		for i := range out {
+			if out[i] != int64(i*i) {
+				t.Fatalf("holder result corrupted at %d", i)
+			}
+		}
+	}
+	if b.Extra() != 4 {
+		t.Fatalf("budget leaked: Extra = %d, want 4", b.Extra())
+	}
+}

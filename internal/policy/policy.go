@@ -24,6 +24,7 @@ import (
 	"geovmp/internal/dc"
 	"geovmp/internal/migrate"
 	"geovmp/internal/network"
+	"geovmp/internal/par"
 	"geovmp/internal/power"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/units"
@@ -56,6 +57,13 @@ type Input struct {
 
 	Net        *network.State
 	Constraint float64 // migration latency budget per link pair, seconds
+
+	// Workers optionally lends the controller extra goroutines for its
+	// internal sharded passes (the proposed controller shards its embedding
+	// and clustering with it). The experiment engine supplies the sweep's
+	// shared worker budget here; nil means run serially. Controllers must
+	// produce identical decisions at any worker count.
+	Workers *par.Budget
 }
 
 // Placement is a global controller's decision: a DC for every active VM and

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"geovmp/internal/dc"
+	"geovmp/internal/par"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/units"
 )
@@ -41,8 +42,11 @@ func fleetFingerprint(fleet dc.Fleet) string {
 // CompileEnvironment evaluates the fleet's cooling and PV series over the
 // horizon at the given fine step (both resolved exactly like Scenario's
 // defaults). The fleet is only read; the returned table is immutable and
-// safe for concurrent readers.
-func CompileEnvironment(fleet dc.Fleet, horizon timeutil.Horizon, fineStepSec float64) *Environment {
+// safe for concurrent readers. The evaluation is sharded over (DC, slot)
+// ranges on the optional worker budget — the site models are pure functions
+// of time and every (DC, slot) range owns a disjoint segment of the tables,
+// so any worker count produces identical bytes; nil compiles serially.
+func CompileEnvironment(fleet dc.Fleet, horizon timeutil.Horizon, fineStepSec float64, workers *par.Budget) *Environment {
 	if horizon.Slots == 0 {
 		horizon = timeutil.Week()
 	}
@@ -61,11 +65,17 @@ func CompileEnvironment(fleet dc.Fleet, horizon timeutil.Horizon, fineStepSec fl
 		renew: make([][]units.Power, len(fleet)),
 		pv:    make([][]units.Energy, len(fleet)),
 	}
-	for i, d := range fleet {
+	for i := range fleet {
 		e.pue[i] = make([]float64, slots*steps)
 		e.renew[i] = make([]units.Power, slots*steps)
 		e.pv[i] = make([]units.Energy, slots)
-		for sl := timeutil.Slot(0); sl < horizon.Slots; sl++ {
+	}
+	const slotGrain = 4 // slots per shard, across the dc-major flattening
+	par.For(workers, len(fleet)*slots, slotGrain, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			i := x / slots
+			sl := timeutil.Slot(x % slots)
+			d := fleet[i]
 			base := int(sl) * steps
 			start := sl.Seconds()
 			k := 0
@@ -79,7 +89,7 @@ func CompileEnvironment(fleet dc.Fleet, horizon timeutil.Horizon, fineStepSec fl
 			}
 			e.pv[i][sl] = d.Plant.SlotEnergy(sl)
 		}
-	}
+	})
 	return e
 }
 

@@ -26,12 +26,14 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"geovmp/internal/alloc"
 	"geovmp/internal/correlation"
 	"geovmp/internal/dc"
 	"geovmp/internal/metrics"
 	"geovmp/internal/network"
+	"geovmp/internal/par"
 	"geovmp/internal/policy"
 	"geovmp/internal/rng"
 	"geovmp/internal/timeutil"
@@ -118,6 +120,13 @@ type Scenario struct {
 	// mismatched or nil table is ignored. The experiment engine shares one
 	// per scenario x seed.
 	Env *Environment
+	// Workers optionally lends the run extra goroutines for its sharded
+	// passes (the fine-plan evaluation, and the controller's embedding and
+	// clustering via policy.Input). The experiment engine installs the
+	// sweep's shared worker budget here so cells x intra-cell shards never
+	// exceed the configured parallelism; nil runs everything serially.
+	// Results are bit-identical at any worker count.
+	Workers *par.Budget
 }
 
 func (sc *Scenario) applyDefaults() {
@@ -290,6 +299,7 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		LastEnergy:    make([]units.Energy, n),
 		Net:           net,
 		Constraint:    constraint,
+		Workers:       sc.Workers,
 	}
 	byDC := make([][]int, n)
 	allocs := make([]allocView, n)
@@ -411,7 +421,7 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		// otherwise each step synthesizes utilizations on demand. Both
 		// paths accumulate in the same order, so results are identical.
 		if fine != nil {
-			fine.evaluate(compiled, fleet, allocs, sl)
+			fine.evaluate(compiled, fleet, allocs, sl, sc.Workers)
 		}
 		clear(slotEnergy)
 		var slotCost units.Money
@@ -577,13 +587,14 @@ func (v *allocView) itPowerAt(w trace.Source, d *dc.DC, step timeutil.Step) (uni
 
 // finePlan holds the per-DC per-step IT power and throttled demand of one
 // slot, evaluated in a single pass over the compiled utilization rows. The
-// buffers are reused across slots.
+// buffers are reused across slots; the per-server load scratch lives in a
+// pool because the per-DC evaluations may run on concurrent shards.
 type finePlan struct {
 	steps     int
 	dt        float64
 	itPower   [][]units.Power // [dc][step]
 	throttled [][]float64     // [dc][step]
-	srvLoad   []float64       // [step], scratch for one server
+	srvLoad   sync.Pool       // *[]float64, [step] scratch for one server
 }
 
 func newFinePlan(n, steps int, dt float64) *finePlan {
@@ -592,7 +603,10 @@ func newFinePlan(n, steps int, dt float64) *finePlan {
 		dt:        dt,
 		itPower:   make([][]units.Power, n),
 		throttled: make([][]float64, n),
-		srvLoad:   make([]float64, steps),
+	}
+	p.srvLoad.New = func() any {
+		buf := make([]float64, steps)
+		return &buf
 	}
 	for i := 0; i < n; i++ {
 		p.itPower[i] = make([]units.Power, steps)
@@ -604,43 +618,49 @@ func newFinePlan(n, steps int, dt float64) *finePlan {
 // evaluate fills the plan for slot sl. Per server it accumulates the member
 // VMs' fine rows, then folds capacity and the power model per step — the
 // same additions in the same order as the per-step itPowerAt path, so the
-// two produce bit-identical results.
-func (p *finePlan) evaluate(c *trace.Compiled, fleet dc.Fleet, allocs []allocView, sl timeutil.Slot) {
-	for i := range fleet {
-		d := fleet[i]
-		itp := p.itPower[i]
-		thr := p.throttled[i]
-		clear(itp)
-		clear(thr)
-		for _, srv := range allocs[i].servers {
-			load := p.srvLoad
-			clear(load)
-			for _, id := range srv.vms {
-				row := c.FineRow(id, sl)
-				if row == nil {
-					// A VM the table does not cover (a policy allocating a
-					// never-active id): read the source at the exact steps
-					// the fine loop derives.
-					start := sl.Seconds()
-					k := 0
-					for t := 0.0; t < timeutil.SlotSeconds; t += p.dt {
-						step := timeutil.Step(int64(start+t) / timeutil.StepSeconds)
-						load[k] += c.Util(id, step)
-						k++
+// two produce bit-identical results. DCs are sharded over the run's worker
+// budget: each shard writes only its own DCs' rows, so any worker count
+// produces the serial result.
+func (p *finePlan) evaluate(c *trace.Compiled, fleet dc.Fleet, allocs []allocView, sl timeutil.Slot, workers *par.Budget) {
+	par.For(workers, len(fleet), 1, func(lo, hi int) {
+		buf := p.srvLoad.Get().(*[]float64)
+		load := *buf
+		defer p.srvLoad.Put(buf)
+		for i := lo; i < hi; i++ {
+			d := fleet[i]
+			itp := p.itPower[i]
+			thr := p.throttled[i]
+			clear(itp)
+			clear(thr)
+			for _, srv := range allocs[i].servers {
+				clear(load)
+				for _, id := range srv.vms {
+					row := c.FineRow(id, sl)
+					if row == nil {
+						// A VM the table does not cover (a policy allocating
+						// a never-active id): read the source at the exact
+						// steps the fine loop derives.
+						start := sl.Seconds()
+						k := 0
+						for t := 0.0; t < timeutil.SlotSeconds; t += p.dt {
+							step := timeutil.Step(int64(start+t) / timeutil.StepSeconds)
+							load[k] += c.Util(id, step)
+							k++
+						}
+						continue
 					}
-					continue
+					for k := range load {
+						load[k] += row[k]
+					}
 				}
+				capS := d.Model.Capacity(srv.level)
 				for k := range load {
-					load[k] += row[k]
+					if load[k] > capS {
+						thr[k] += load[k] - capS
+					}
+					itp[k] += d.Model.Power(srv.level, load[k])
 				}
-			}
-			capS := d.Model.Capacity(srv.level)
-			for k := range load {
-				if load[k] > capS {
-					thr[k] += load[k] - capS
-				}
-				itp[k] += d.Model.Power(srv.level, load[k])
 			}
 		}
-	}
+	})
 }

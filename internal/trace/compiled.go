@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"geovmp/internal/par"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/units"
 )
@@ -23,6 +24,14 @@ type CompileOptions struct {
 	// queries fall through to the underlying source; profiles and volumes
 	// always materialize.
 	MaxFineTableBytes int64
+	// Workers optionally lends extra goroutines to the compilation: the
+	// per-VM fine and profile tables and the per-slot volume lists are
+	// sharded (each shard writes disjoint rows) and the active-window scan
+	// reduces per-slot shards in fixed order, so the compiled tables are
+	// byte-identical at any worker count. Requires src to be safe for
+	// concurrent readers — the contract workloads already carry for
+	// parallel sweeps. Nil compiles serially.
+	Workers *par.Budget
 }
 
 const defaultMaxFineTableBytes = 256 << 20
@@ -159,23 +168,47 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 		c.images[id] = src.Image(id)
 	}
 
-	// Active windows from the per-slot active lists.
+	// Active windows from the per-slot active lists. Slot ranges are
+	// scanned on concurrent shards and merged in ascending shard order; the
+	// merge is a min/max fold, associative over the slot split, so the
+	// windows equal the serial scan's exactly.
 	first := make([]timeutil.Slot, c.numVMs)
 	last := make([]timeutil.Slot, c.numVMs)
 	for id := range first {
 		first[id] = -1
 	}
-	for sl := timeutil.Slot(0); sl < c.slots; sl++ {
-		for _, id := range src.ActiveVMs(sl) {
-			if id < 0 || id >= c.numVMs {
+	type window struct{ first, last []timeutil.Slot }
+	par.Ordered(opt.Workers, slots, windowSlotGrain, func(lo, hi int) window {
+		w := window{
+			first: make([]timeutil.Slot, c.numVMs),
+			last:  make([]timeutil.Slot, c.numVMs),
+		}
+		for id := range w.first {
+			w.first[id] = -1
+		}
+		for sl := timeutil.Slot(lo); sl < timeutil.Slot(hi); sl++ {
+			for _, id := range src.ActiveVMs(sl) {
+				if id < 0 || id >= c.numVMs {
+					continue
+				}
+				if w.first[id] < 0 {
+					w.first[id] = sl
+				}
+				w.last[id] = sl
+			}
+		}
+		return w
+	}, func(w window) {
+		for id := range first {
+			if w.first[id] < 0 {
 				continue
 			}
 			if first[id] < 0 {
-				first[id] = sl
+				first[id] = w.first[id]
 			}
-			last[id] = sl
+			last[id] = w.last[id]
 		}
-	}
+	})
 
 	// Fine-step utilization rows over each VM's active window, within the
 	// memory budget. The per-slot step lists are hoisted out of the per-VM
@@ -202,20 +235,24 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 		c.steps = steps
 		c.fineStart = make([]timeutil.Slot, c.numVMs)
 		c.fine = make([][]float64, c.numVMs)
-		for id := 0; id < c.numVMs; id++ {
-			if first[id] < 0 {
-				continue
-			}
-			c.fineStart[id] = first[id]
-			rows := make([]float64, int(last[id]-first[id]+1)*steps)
-			c.fine[id] = rows
-			for sl := first[id]; sl <= last[id]; sl++ {
-				row := rows[int(sl-first[id])*steps:]
-				for k, step := range stepsBySlot[sl] {
-					row[k] = src.Util(id, step)
+		// Each VM owns its rows — disjoint writes, so the sharded fill is
+		// byte-identical to the serial one.
+		par.For(opt.Workers, c.numVMs, vmRowGrain, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				if first[id] < 0 {
+					continue
+				}
+				c.fineStart[id] = first[id]
+				rows := make([]float64, int(last[id]-first[id]+1)*steps)
+				c.fine[id] = rows
+				for sl := first[id]; sl <= last[id]; sl++ {
+					row := rows[int(sl-first[id])*steps:]
+					for k, step := range stepsBySlot[sl] {
+						row[k] = src.Util(id, step)
+					}
 				}
 			}
-		}
+		})
 	}
 
 	// Profiles: the controller acting at sl observes obsSlot(sl), so a VM
@@ -233,32 +270,36 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 		}
 		c.profStart = make([]timeutil.Slot, c.numVMs)
 		c.prof = make([][]float64, c.numVMs)
-		for id := 0; id < c.numVMs; id++ {
-			if first[id] < 0 {
-				continue
-			}
-			start := obsSlot(first[id])
-			end := obsSlot(last[id])
-			c.profStart[id] = start
-			rows := make([]float64, int(end-start+1)*c.samples)
-			c.prof[id] = rows
-			for sl := start; sl <= end; sl++ {
-				row := rows[int(sl-start)*c.samples : int(sl-start+1)*c.samples]
-				if profToFine != nil && profToFine[sl] != nil {
-					if fr := c.FineRow(id, sl); fr != nil {
-						for i, k := range profToFine[sl] {
-							row[i] = fr[k]
+		// Per-VM rows again; the fine table above is complete before this
+		// pass starts, so its reads are safe from any shard.
+		par.For(opt.Workers, c.numVMs, vmRowGrain, func(lo, hi int) {
+			for id := lo; id < hi; id++ {
+				if first[id] < 0 {
+					continue
+				}
+				start := obsSlot(first[id])
+				end := obsSlot(last[id])
+				c.profStart[id] = start
+				rows := make([]float64, int(end-start+1)*c.samples)
+				c.prof[id] = rows
+				for sl := start; sl <= end; sl++ {
+					row := rows[int(sl-start)*c.samples : int(sl-start+1)*c.samples]
+					if profToFine != nil && profToFine[sl] != nil {
+						if fr := c.FineRow(id, sl); fr != nil {
+							for i, k := range profToFine[sl] {
+								row[i] = fr[k]
+							}
+							continue
 						}
-						continue
+					}
+					if filler != nil {
+						filler.FillSlotProfile(row, id, sl)
+					} else {
+						copy(row, src.SlotProfile(id, sl, c.samples))
 					}
 				}
-				if filler != nil {
-					filler.FillSlotProfile(row, id, sl)
-				} else {
-					copy(row, src.SlotProfile(id, sl, c.samples))
-				}
 			}
-		}
+		})
 	}
 
 	// Volume entry lists, realized and planned. Slot 0's planned list is
@@ -266,12 +307,24 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 	// Volumes(0) for every implementation (Replay filters by lifetime).
 	c.vols = make([][]VolumeEntry, slots)
 	c.planned = make([][]VolumeEntry, slots)
-	for sl := timeutil.Slot(0); sl < c.slots; sl++ {
-		c.vols[sl] = src.Volumes(sl)
-		c.planned[sl] = src.PlannedVolumes(obsSlot(sl), sl)
-	}
+	par.For(opt.Workers, slots, volumeSlotGrain, func(lo, hi int) {
+		for sl := timeutil.Slot(lo); sl < timeutil.Slot(hi); sl++ {
+			c.vols[sl] = src.Volumes(sl)
+			c.planned[sl] = src.PlannedVolumes(obsSlot(sl), sl)
+		}
+	})
 	return c
 }
+
+// Shard grains of Compile's parallel passes (see internal/par: fixed
+// constants keep shard boundaries a pure function of the table sizes).
+// Window shards are coarse because each allocates per-VM merge buffers;
+// volume shards are fine because one slot synthesizes a whole entry list.
+const (
+	windowSlotGrain = 32
+	vmRowGrain      = 64
+	volumeSlotGrain = 4
+)
 
 // Source returns the workload the trace was compiled from.
 func (c *Compiled) Source() Source { return c.src }
