@@ -307,6 +307,90 @@ func writeBenchArtifact(b *testing.B, path string, meanCost, cellsPerSec float64
 		ProposedMeanEUR: meanCost,
 		NsPerOp:         float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 	}
+	writeBenchJSON(b, path, artifact)
+}
+
+// benchEpochSpec is the rolling-horizon benchmark scenario: the
+// geo5dc-dynamic preset (four epochs, shifting class mix, waving arrivals)
+// reduced to bench size, with a per-epoch move budget so the engine-side
+// migrate.Run revision is on the measured path.
+func benchEpochSpec(epochs int) Spec {
+	spec := MustPreset("geo5dc-dynamic")
+	spec.Scale = 0.02
+	spec.Seed = 42
+	spec.Horizon = Days(1)
+	spec.FineStepSec = 300
+	spec.Epochs = epochs
+	spec.Migration = MigrationBudget{MaxMovesPerEpoch: 200}
+	return spec
+}
+
+// BenchmarkEpochSweep measures the rolling-horizon engine against the
+// static path on the same dynamic workload: sub-benchmark "static" pins
+// Epochs to 1 (epoch machinery active only for the budget, no boundary
+// re-optimization), "epochs4" runs the preset's four epochs with boundary
+// re-optimization, engine-side revision and migration charging. Reported:
+// cells per second, the proposed method's cost, and total executed
+// migrations — so both the engine's overhead and the dynamic scenario's
+// shape are tracked across PRs.
+//
+// When GEOVMP_BENCH_EPOCH_JSON names a path, the epochs4 variant writes its
+// headline numbers there (CI uploads it as BENCH_epoch.json).
+func BenchmarkEpochSweep(b *testing.B) {
+	run := func(b *testing.B, epochs int) (costEUR, cellsPerSec float64, migrations int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			set, err := NewExperiment(
+				WithScenarios(benchEpochSpec(epochs)),
+				WithPolicies(StandardPolicies(0.9)[:1]...),
+				WithSeeds(2),
+			).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			costEUR, migrations = 0, 0
+			for _, r := range set.Results(set.Scenarios[0], "Proposed") {
+				costEUR += float64(r.OpCost)
+				migrations += r.Migrations
+			}
+			costEUR /= 2
+			cellsPerSec = float64(len(set.Cells)) * float64(b.N) / b.Elapsed().Seconds()
+		}
+		b.ReportMetric(cellsPerSec, "cells/s")
+		b.ReportMetric(costEUR, "eur-proposed-mean")
+		b.ReportMetric(float64(migrations), "migrations")
+		return costEUR, cellsPerSec, migrations
+	}
+	b.Run("static", func(b *testing.B) { run(b, 1) })
+	b.Run("epochs4", func(b *testing.B) {
+		costEUR, cellsPerSec, migrations := run(b, 4)
+		path := os.Getenv("GEOVMP_BENCH_EPOCH_JSON")
+		if path == "" || b.N == 0 {
+			return
+		}
+		writeBenchJSON(b, path, struct {
+			Benchmark       string  `json:"benchmark"`
+			N               int     `json:"n"`
+			CellsPerSec     float64 `json:"cells_per_sec"`
+			ProposedMeanEUR float64 `json:"policy_mean_cost_eur_proposed"`
+			Migrations      int     `json:"migrations"`
+			NsPerOp         float64 `json:"ns_per_op"`
+		}{
+			Benchmark:       "BenchmarkEpochSweep/epochs4",
+			N:               b.N,
+			CellsPerSec:     cellsPerSec,
+			ProposedMeanEUR: costEUR,
+			Migrations:      migrations,
+			NsPerOp:         float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+}
+
+// writeBenchJSON marshals one benchmark's headline-number artifact and
+// stores it at path — the shared mechanics behind every BENCH_*.json;
+// each benchmark keeps its own schema struct.
+func writeBenchJSON(b *testing.B, path string, artifact any) {
+	b.Helper()
 	out, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -384,13 +468,7 @@ func BenchmarkGlobalPhase(b *testing.B) {
 				ProposedEUR: cost,
 				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 			}
-			out, err := json.MarshalIndent(artifact, "", "  ")
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
-				b.Fatal(err)
-			}
+			writeBenchJSON(b, path, artifact)
 		}
 	})
 }

@@ -37,7 +37,7 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "all", "experiment: all, figs, table1, fig1..fig6, alpha, noembed, qos, battery, forecast")
+	expName  = flag.String("exp", "all", "experiment: all, figs, table1, fig1..fig6, alpha, noembed, qos, battery, forecast, epochs")
 	scale    = flag.Float64("scale", 0.05, "Table I fleet scale (1.0 = paper)")
 	seed     = flag.Uint64("seed", 42, "experiment seed")
 	days     = flag.Int("days", 7, "horizon in days (paper: 7)")
@@ -153,7 +153,7 @@ func main() {
 	switch *expName {
 	case "all":
 		err = runFigures(ctx, true)
-		for _, ab := range []func(context.Context) error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast} {
+		for _, ab := range []func(context.Context) error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast, runEpochSweep} {
 			if err != nil {
 				break
 			}
@@ -172,6 +172,8 @@ func main() {
 		err = runBatterySweep(ctx)
 	case "forecast":
 		err = runForecast(ctx)
+	case "epochs":
+		err = runEpochSweep(ctx)
 	default:
 		stopProfiles()
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
@@ -378,6 +380,62 @@ func runBatterySweep(ctx context.Context) error {
 			fmt.Sprintf("%.1f", r.GridEnergy.KWh()),
 			fmt.Sprintf("%.1f", r.RenewableUsed.KWh()),
 			fmt.Sprintf("%.1f", r.RenewableLost.KWh()),
+		})
+	}
+	fmt.Print(fig.Render())
+	return fig.WriteCSV(*outDir)
+}
+
+// runEpochSweep is the rolling-horizon ablation: the geo5dc-dynamic
+// workload (shifting class mix, waving arrivals) under 1, 2, 4 and 8
+// re-optimization epochs, swept on the scenario axis. Epochs=1 is the
+// static placement going stale against the drifting regime; more epochs
+// buy re-convergence at the price of migration energy and downtime, both
+// of which the engine charges into the metrics shown.
+func runEpochSweep(ctx context.Context) error {
+	fmt.Println("ablation A6: rolling-horizon epoch count on the dynamic workload")
+	counts := []int{1, 2, 4, 8}
+	specs := make([]geovmp.Spec, len(counts))
+	for i, n := range counts {
+		spec := geovmp.MustPreset("geo5dc-dynamic")
+		spec.Name = fmt.Sprintf("epochs=%d", n)
+		spec.Scale = *scale
+		spec.Seed = *seed
+		spec.Horizon = geovmp.Days(*days)
+		spec.FineStepSec = *fineStep
+		spec.Epochs = n
+		// Explicit default charging so the epochs=1 row runs the engine too
+		// (single epoch, no boundary re-optimization) and every row pays
+		// for its moves — the comparison isolates the epoch count.
+		spec.Migration = geovmp.MigrationBudget{
+			EnergyPerGB: geovmp.DefaultMigEnergyPerGB,
+			DowntimeSec: geovmp.DefaultMigDowntimeSec,
+		}
+		specs[i] = spec
+	}
+	set, err := sweep(ctx,
+		geovmp.WithScenarios(specs...),
+		geovmp.WithPolicies(geovmp.StandardPolicies(*alpha)[:1]...),
+	)
+	if err != nil {
+		return err
+	}
+	fig := &report.Figure{
+		ID:      "ablation-epochs",
+		Title:   "Rolling-horizon epochs on geo5dc-dynamic",
+		Headers: []string{"epochs", "cost (EUR)", "energy (GJ)", "worst resp (s)", "migrations", "rejected", "mig energy (kWh)", "downtime (s)"},
+	}
+	for si := range counts {
+		r := set.At(si, 0, 0).Result
+		fig.Rows = append(fig.Rows, []string{
+			fmt.Sprintf("%d", counts[si]),
+			fmt.Sprintf("%.2f", float64(r.OpCost)),
+			fmt.Sprintf("%.4f", r.TotalEnergy.GJ()),
+			fmt.Sprintf("%.2f", r.RespSummary.Max()),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.MigRejected),
+			fmt.Sprintf("%.3f", r.MigEnergy.KWh()),
+			fmt.Sprintf("%.1f", r.MigDowntimeSec),
 		})
 	}
 	fmt.Print(fig.Render())

@@ -8,6 +8,7 @@ import (
 	"geovmp/internal/config"
 	"geovmp/internal/experiment"
 	"geovmp/internal/network"
+	"geovmp/internal/sim"
 	"geovmp/internal/trace"
 )
 
@@ -265,3 +266,46 @@ func WithProfileSamples(n int) ScenarioOption { return config.WithProfileSamples
 // LoadWorkload) instead of the synthetic generator. The source must be safe
 // for concurrent readers when used in a parallel sweep.
 func WithWorkload(w Workload) ScenarioOption { return config.WithWorkload(trace.Source(w)) }
+
+// MigrationBudget parameterizes the rolling-horizon engine's migration
+// accounting: a per-epoch executed-move budget plus the transfer energy
+// (J/GB, split between source and destination DC) and per-move service
+// downtime charged into the per-slot accounting. The zero value means
+// engine defaults (unlimited moves, sim.DefaultMigEnergyPerGB,
+// sim.DefaultMigDowntimeSec); negative charging fields disable the charge.
+type MigrationBudget = sim.MigrationBudget
+
+// EpochStat is one epoch's slice of a rolling-horizon Result: cost, energy,
+// migration counts, charged migration energy and downtime over the epoch's
+// measured slots.
+type EpochStat = sim.EpochStat
+
+// Rolling-engine migration charging defaults (see MigrationBudget).
+const (
+	DefaultMigEnergyPerGB = sim.DefaultMigEnergyPerGB // J per GB of image moved
+	DefaultMigDowntimeSec = sim.DefaultMigDowntimeSec // s of pause per move
+)
+
+// WithEpochs splits the scenario's horizon into n rolling-horizon epochs:
+// the placement is re-optimized at every epoch boundary (warm-started from
+// the carried state), the per-epoch migration budget resets, and Result /
+// ResultSet JSON gain a per-epoch breakdown. WithEpochs(1) is the static
+// path — byte-identical to not setting it.
+func WithEpochs(n int) ScenarioOption { return config.WithEpochs(n) }
+
+// WithMigrationBudget sets the rolling engine's migration budget and
+// charging model. Setting it activates the engine even at WithEpochs(1).
+func WithMigrationBudget(b MigrationBudget) ScenarioOption { return config.WithMigrationBudget(b) }
+
+// WithEpochClassWeights schedules synthetic workload class-mix regimes
+// (class order: websearch, mapreduce, hpc, batch): the horizon splits into
+// len(rows) equal phases, shifting the fleet's composition across the
+// horizon. Pair the row count with WithEpochs to align regime shifts with
+// the engine's re-optimization boundaries.
+func WithEpochClassWeights(rows ...[]float64) ScenarioOption {
+	return config.WithEpochClassWeights(rows...)
+}
+
+// WithArrivalWave modulates the synthetic arrival rate diurnally with
+// amplitude a in [0, 1).
+func WithArrivalWave(a float64) ScenarioOption { return config.WithArrivalWave(a) }

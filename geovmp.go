@@ -35,6 +35,13 @@
 //     BERs, and the synthetic multi-class workload.
 //   - NewScenario and Run remain the single-run primitives under the
 //     engine.
+//   - WithEpochs and WithMigrationBudget turn a scenario into a
+//     rolling-horizon run: the placement re-optimizes at every epoch
+//     boundary, migrations are revised under a per-epoch budget, each
+//     move's transfer energy and downtime are charged into the metrics,
+//     and Result carries a per-epoch breakdown. The geo3dc-diurnal and
+//     geo5dc-dynamic presets ship workloads whose class mix and load
+//     shift across epochs.
 //
 // Everything is deterministic in the seeds: a sweep's ResultSet — and its
 // JSON export — is byte-identical at any parallelism.
@@ -184,6 +191,16 @@ func ExportWorkload(w Workload, dir string, slots Horizon, samples int) error {
 // produced from real DC traces in the same format). Assign the result to
 // Scenario.Workload to drive experiments with it.
 func LoadWorkload(dir string) (Workload, error) { return trace.LoadReplay(dir) }
+
+// WindowWorkload returns a read-only view of w restricted to `slots` hours
+// starting at hour `startHour`, re-based so the window opens at slot 0 —
+// the per-epoch view of a workload. Over a compiled trace the view keeps
+// serving from the compiled tables, so slicing an epoch out of a dynamic
+// workload (for export with ExportWorkload, or to simulate it in
+// isolation) costs nothing.
+func WindowWorkload(w Workload, startHour int, slots Horizon) Workload {
+	return trace.Window(w, timeutil.Slot(startHour), slots.Slots)
+}
 
 // CompileWorkload materializes any workload into immutable flat per-slot
 // tables — downsampled profiles, fine-step utilization rows, volume entry

@@ -1,0 +1,132 @@
+package geovmp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenPath holds the committed golden ResultSet export. Regenerate it
+// deliberately — never by editing — with:
+//
+//	GEOVMP_UPDATE_GOLDEN=1 go test -run TestGoldenResultSet .
+//
+// and review the diff like any other code change: every changed digit is a
+// behaviour change shipped to users of these numbers.
+const goldenPath = "testdata/golden_sweep.json"
+
+// goldenGrid is the pinned regression grid: the paper's Table I world plus
+// the rolling-horizon geo5dc-dynamic preset (per-epoch breakdown included),
+// each tiny and short, under all four standard policies and two seeds.
+func goldenGrid() *Experiment {
+	static := MustPreset("paper-geo3dc")
+	static.Scale = 0.01
+	static.Seed = 7
+	static.Horizon = HoursOf(8)
+	static.FineStepSec = 300
+
+	dynamic := MustPreset("geo5dc-dynamic")
+	dynamic.Scale = 0.01
+	dynamic.Seed = 11
+	dynamic.Horizon = HoursOf(8)
+	dynamic.FineStepSec = 300
+
+	return NewExperiment(
+		WithScenarios(static, dynamic),
+		WithPolicies(StandardPolicies(0.9)...),
+		WithSeeds(2),
+	)
+}
+
+// TestGoldenResultSet is the golden-result regression harness: the grid's
+// ResultSet JSON must match the committed file bit for bit. The simulator
+// is deterministic in the seeds at any parallelism, so any diff here is a
+// real behaviour change — an intentional one updates the golden in the same
+// commit (like PR 2's last-ulp embedding refinement would have), an
+// unintentional one is a caught regression.
+func TestGoldenResultSet(t *testing.T) {
+	set, err := goldenGrid().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(js, '\n')
+
+	// Sanity-check the golden covers the rolling-horizon surface before
+	// comparing: the dynamic scenario must report per-epoch migrations.
+	assertDynamicCoverage(t, set)
+
+	if os.Getenv("GEOVMP_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden file (%v); generate one with GEOVMP_UPDATE_GOLDEN=1 go test -run TestGoldenResultSet .", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ResultSet JSON drifted from %s at %s.\nIf the change is intentional, regenerate with GEOVMP_UPDATE_GOLDEN=1 and commit the diff.",
+			goldenPath, firstDiff(got, want))
+	}
+}
+
+// assertDynamicCoverage fails when the dynamic half of the golden grid
+// stops exercising the epoch engine — a silent-coverage guard, not a
+// metric assertion.
+func assertDynamicCoverage(t *testing.T, set *ResultSet) {
+	t.Helper()
+	migrations := 0
+	for pi := range set.Policies {
+		for ki := range set.SeedOffsets {
+			r := set.At(1, pi, ki).Result
+			if r == nil {
+				t.Fatalf("dynamic cell (%d,%d) missing", pi, ki)
+			}
+			if len(r.Epochs) == 0 {
+				t.Fatalf("dynamic cell %s/seed+%d has no epoch breakdown", set.Policies[pi], ki)
+			}
+			for _, es := range r.Epochs {
+				migrations += es.Migrations
+			}
+		}
+	}
+	if migrations == 0 {
+		t.Fatal("dynamic scenario executed no migrations: the golden no longer covers migration accounting")
+	}
+}
+
+// firstDiff locates the first divergence between two byte slices by line
+// and column, so a golden failure points at the drifted metric instead of
+// dumping two multi-kilobyte documents.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	line, col := 1, 1
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Sprintf("line %d, column %d (got %q, want %q)", line, col, got[i], want[i])
+		}
+		if got[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("length %d vs %d (common prefix identical)", len(got), len(want))
+}

@@ -1,0 +1,80 @@
+package alloc
+
+import (
+	"testing"
+
+	"geovmp/internal/correlation"
+	"geovmp/internal/power"
+)
+
+// ServerOf's dense-slice contract: the slice spans exactly [0, max placed
+// id], unplaced slots read -1 (never 0, the old map's zero-value trap), and
+// every placed id resolves to the server hosting it.
+
+func TestServerOfEmptyResult(t *testing.T) {
+	var r Result
+	if got := r.ServerOf(); len(got) != 0 {
+		t.Fatalf("empty allocation produced lookup of length %d", len(got))
+	}
+}
+
+func TestServerOfDenseInvariants(t *testing.T) {
+	r := Result{Servers: []ServerAlloc{
+		{VMs: []int{5}},
+		{VMs: []int{2, 9}},
+	}}
+	got := r.ServerOf()
+	if len(got) != 10 {
+		t.Fatalf("lookup length %d, want 10 (max placed id 9 + 1)", len(got))
+	}
+	want := map[int]int{5: 0, 2: 1, 9: 1}
+	for id, srv := range got {
+		if w, ok := want[id]; ok {
+			if srv != w {
+				t.Errorf("ServerOf()[%d] = %d, want %d", id, srv, w)
+			}
+		} else if srv != -1 {
+			t.Errorf("unplaced id %d reads %d, want -1", id, srv)
+		}
+	}
+}
+
+func TestServerOfMatchesPacking(t *testing.T) {
+	// A real correlation-aware pack: the lookup must agree with the server
+	// membership lists exactly, for every placed id.
+	ps := correlation.NewProfileSet(4)
+	ids := []int{0, 2, 3, 7, 8, 11}
+	for k, id := range ids {
+		prof := make([]float64, 4)
+		for i := range prof {
+			prof[i] = 0.2 + 0.1*float64((k+i)%4)
+		}
+		ps.Add(id, prof)
+	}
+	r := CorrelationAware(ids, ps, power.E5410(), 3)
+	got := r.ServerOf()
+	placed := 0
+	for s, srv := range r.Servers {
+		for _, id := range srv.VMs {
+			placed++
+			if id >= len(got) {
+				t.Fatalf("placed id %d beyond lookup length %d", id, len(got))
+			}
+			if got[id] != s {
+				t.Fatalf("ServerOf()[%d] = %d, but server %d hosts it", id, got[id], s)
+			}
+		}
+	}
+	if placed != len(ids) {
+		t.Fatalf("pack placed %d of %d ids", placed, len(ids))
+	}
+	holes := 0
+	for _, srv := range got {
+		if srv == -1 {
+			holes++
+		}
+	}
+	if holes != len(got)-placed {
+		t.Fatalf("lookup has %d holes, want %d", holes, len(got)-placed)
+	}
+}

@@ -91,6 +91,28 @@ type Spec struct {
 	// example a replayed trace loaded with trace.LoadReplay). It must be
 	// safe for concurrent readers when used in a parallel sweep.
 	Workload trace.Source
+	// Epochs splits the horizon into rolling-horizon re-optimization
+	// epochs: the controllers are signalled at each interior boundary, the
+	// per-epoch migration budget resets, and results carry a per-epoch
+	// breakdown. 0 or 1 with a zero Migration budget is the static path,
+	// byte-identical to a spec without these fields.
+	Epochs int
+	// Migration parameterizes the epoch engine's migration accounting
+	// (per-epoch move budget, transfer energy, downtime). Setting any
+	// field activates the engine even at Epochs <= 1.
+	Migration sim.MigrationBudget
+	// EpochClassWeights optionally schedules synthetic class-mix regimes
+	// (class order as ClassWeights): the horizon is partitioned into
+	// len(rows) equal phases and VMs arriving within a phase draw from its
+	// row, so the fleet's mix shifts across the horizon. The row count is
+	// independent of Epochs — presets set them equal so the workload's
+	// regime shifts land exactly on the engine's re-optimization
+	// boundaries, but an epochs=1 run over the same shifting workload is
+	// valid (and is how the epoch engine's value is measured).
+	EpochClassWeights [][]float64
+	// ArrivalWave modulates the synthetic arrival rate diurnally with the
+	// given amplitude in [0, 1); 0 keeps arrivals stationary.
+	ArrivalWave float64
 }
 
 // DefaultScenarioName labels unnamed specs: the paper's Table I world.
@@ -131,10 +153,73 @@ func newForecaster(kind ForecastKind, plant solar.Plant) solar.Forecaster {
 	}
 }
 
+// Validate checks the spec's declarative fields — sites, class mixes,
+// epoch schedule, arrival wave, scale — without building anything. Build
+// and NewWorkload call it; it is also the spec-validation fuzzing surface.
+func (s Spec) Validate() error {
+	s.applyDefaults()
+	// The comparisons are written to reject NaN too: a NaN scale or wave
+	// passes any single `< 0` test and then corrupts every table sized
+	// from it.
+	if !(s.Scale >= 0) || math.IsInf(s.Scale, 0) {
+		return fmt.Errorf("config: bad scale %v", s.Scale)
+	}
+	if math.IsNaN(s.VMsPerServer) || math.IsInf(s.VMsPerServer, 0) {
+		return fmt.Errorf("config: bad VMsPerServer %v", s.VMsPerServer)
+	}
+	if s.Horizon.Slots < 0 {
+		return fmt.Errorf("config: negative horizon %d", s.Horizon.Slots)
+	}
+	sites := s.Sites
+	if len(sites) == 0 {
+		sites = TableISites()
+	}
+	for i, st := range sites {
+		if st.Servers <= 0 {
+			return fmt.Errorf("config: site %d (%q) has no servers", i, st.Name)
+		}
+		switch st.City {
+		case "", "lisbon", "zurich", "helsinki":
+		default:
+			return fmt.Errorf("config: site %d (%q) names unknown city %q (have lisbon, zurich, helsinki; leave empty for the generic models)", i, st.Name, st.City)
+		}
+	}
+	if err := validateClassWeights(s.ClassWeights, "ClassWeights"); err != nil {
+		return err
+	}
+	if s.Epochs < 0 {
+		return fmt.Errorf("config: negative epoch count %d", s.Epochs)
+	}
+	if !(s.ArrivalWave >= 0 && s.ArrivalWave < 1) {
+		return fmt.Errorf("config: ArrivalWave %v outside [0, 1)", s.ArrivalWave)
+	}
+	// Charging fields may be negative (the disable convention) but must be
+	// finite: one +Inf move would turn every downstream total into +Inf,
+	// and NaN would silently disable the charge instead of erroring.
+	if math.IsNaN(s.Migration.EnergyPerGB) || math.IsInf(s.Migration.EnergyPerGB, 0) {
+		return fmt.Errorf("config: bad Migration.EnergyPerGB %v", s.Migration.EnergyPerGB)
+	}
+	if math.IsNaN(s.Migration.DowntimeSec) || math.IsInf(s.Migration.DowntimeSec, 0) {
+		return fmt.Errorf("config: bad Migration.DowntimeSec %v", s.Migration.DowntimeSec)
+	}
+	for e, row := range s.EpochClassWeights {
+		if len(row) == 0 {
+			return fmt.Errorf("config: empty EpochClassWeights[%d] row", e)
+		}
+		if err := validateClassWeights(row, fmt.Sprintf("EpochClassWeights[%d]", e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Build constructs a complete scenario from the spec. Each call returns
 // independent mutable state.
 func Build(spec Spec) (*sim.Scenario, error) {
 	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	sites := spec.Sites
 	topo := spec.Topo
 	if len(sites) == 0 {
@@ -148,14 +233,6 @@ func Build(spec Spec) (*sim.Scenario, error) {
 	}
 	fleet := make(dc.Fleet, len(sites))
 	for i, st := range sites {
-		if st.Servers <= 0 {
-			return nil, fmt.Errorf("config: site %d (%q) has no servers", i, st.Name)
-		}
-		switch st.City {
-		case "", "lisbon", "zurich", "helsinki":
-		default:
-			return nil, fmt.Errorf("config: site %d (%q) names unknown city %q (have lisbon, zurich, helsinki; leave empty for the generic models)", i, st.Name, st.City)
-		}
 		st.applyDefaults()
 		climate, plant, tariff := st.models()
 		servers := scaledSiteServers(st, spec.Scale)
@@ -186,9 +263,6 @@ func Build(spec Spec) (*sim.Scenario, error) {
 		}
 	}
 
-	if err := validateClassWeights(spec.ClassWeights); err != nil {
-		return nil, err
-	}
 	w := spec.Workload
 	if w == nil {
 		var err error
@@ -208,6 +282,8 @@ func Build(spec Spec) (*sim.Scenario, error) {
 		ProfileSamples: spec.ProfileSamples,
 		FineStepSec:    spec.FineStepSec,
 		WarmupSlots:    spec.WarmupSlots,
+		Epochs:         spec.Epochs,
+		Migration:      spec.Migration,
 	}, nil
 }
 
@@ -216,40 +292,59 @@ func Build(spec Spec) (*sim.Scenario, error) {
 // use a vanishingly small bank).
 const BatteryZero = 1e-6
 
-// validateClassWeights checks the optional class-mix override.
-func validateClassWeights(weights []float64) error {
+// validateClassWeights checks one class-mix row; label names the field in
+// error messages (the stationary mix or one epoch's row).
+func validateClassWeights(weights []float64, label string) error {
 	n := len(weights)
 	if n == 0 {
 		return nil
 	}
 	if n != int(trace.NumClasses) {
-		return fmt.Errorf("config: ClassWeights has %d entries, want %d", n, trace.NumClasses)
+		return fmt.Errorf("config: %s has %d entries, want %d", label, n, trace.NumClasses)
 	}
 	positive := false
 	for i, wgt := range weights {
-		if wgt < 0 {
-			return fmt.Errorf("config: negative class weight %v at %d", wgt, i)
+		if wgt < 0 || math.IsNaN(wgt) || math.IsInf(wgt, 0) {
+			return fmt.Errorf("config: bad class weight %v at %s[%d]", wgt, label, i)
 		}
 		positive = positive || wgt > 0
 	}
 	if !positive {
-		return fmt.Errorf("config: ClassWeights has no positive entry")
+		return fmt.Errorf("config: %s has no positive entry", label)
 	}
 	return nil
 }
 
 // newWorkload synthesizes the spec's workload for a fleet of totalServers.
-// Callers have validated ClassWeights.
+// Callers have validated the spec. The epoch class-mix schedule becomes a
+// phase list partitioning the horizon into len(rows) equal windows with
+// the same floor arithmetic as sim.EpochPlan — so when the row count
+// equals Epochs (as the presets arrange, with Epochs within the horizon)
+// the regime shifts land exactly on the boundaries the rolling engine
+// re-optimizes at. The row count is deliberately independent of Epochs;
+// see Spec.EpochClassWeights.
 func newWorkload(spec Spec, totalServers int) (trace.Source, error) {
 	initialVMs := int(math.Round(float64(totalServers) * spec.VMsPerServer))
 	if initialVMs < 10 {
 		initialVMs = 10
+	}
+	var phases []trace.PhaseMix
+	if rows := spec.EpochClassWeights; len(rows) > 0 {
+		phases = make([]trace.PhaseMix, len(rows))
+		for e, row := range rows {
+			phases[e] = trace.PhaseMix{
+				FromSlot: timeutil.Slot(int64(e) * int64(spec.Horizon.Slots) / int64(len(rows))),
+				Weights:  row,
+			}
+		}
 	}
 	return trace.New(trace.Config{
 		Seed:         spec.Seed,
 		Horizon:      spec.Horizon,
 		InitialVMs:   initialVMs,
 		ClassWeights: spec.ClassWeights,
+		Phases:       phases,
+		ArrivalWave:  spec.ArrivalWave,
 	}), nil
 }
 
@@ -281,7 +376,7 @@ func NewWorkload(spec Spec) (trace.Source, error) {
 	if spec.Workload != nil {
 		return spec.Workload, nil
 	}
-	if err := validateClassWeights(spec.ClassWeights); err != nil {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	return newWorkload(spec, scaledServers(spec))

@@ -8,6 +8,7 @@ import (
 	"geovmp/internal/cooling"
 	"geovmp/internal/network"
 	"geovmp/internal/price"
+	"geovmp/internal/sim"
 	"geovmp/internal/solar"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/trace"
@@ -232,6 +233,35 @@ func WithProfileSamples(n int) Option { return func(s *Spec) { s.ProfileSamples 
 // concurrent readers when the spec is used in a parallel sweep.
 func WithWorkload(w trace.Source) Option { return func(s *Spec) { s.Workload = w } }
 
+// WithEpochs splits the horizon into n rolling-horizon re-optimization
+// epochs (1 = the static path, byte-identical to not setting it).
+func WithEpochs(n int) Option { return func(s *Spec) { s.Epochs = n } }
+
+// WithMigrationBudget parameterizes the epoch engine's migration
+// accounting: per-epoch move budget, per-GB transfer energy, per-move
+// downtime. Setting it activates the engine even at Epochs <= 1.
+func WithMigrationBudget(b sim.MigrationBudget) Option {
+	return func(s *Spec) { s.Migration = b }
+}
+
+// WithEpochClassWeights schedules synthetic class-mix regimes (class order
+// as WithClassWeights): the horizon splits into len(rows) equal phases,
+// shifting the workload's composition across the horizon. Presets pair the
+// row count with WithEpochs so regime shifts land on re-optimization
+// boundaries, but the two are independent.
+func WithEpochClassWeights(rows ...[]float64) Option {
+	return func(s *Spec) {
+		s.EpochClassWeights = make([][]float64, len(rows))
+		for i, row := range rows {
+			s.EpochClassWeights[i] = append([]float64(nil), row...)
+		}
+	}
+}
+
+// WithArrivalWave modulates the synthetic arrival rate diurnally with
+// amplitude a in [0, 1).
+func WithArrivalWave(a float64) Option { return func(s *Spec) { s.ArrivalWave = a } }
+
 // presetBuilders registers the named scenario presets.
 var presetBuilders = map[string]func() Spec{
 	// The paper's Sect. V world: Table I fleet, WCMA forecasting, one week.
@@ -251,6 +281,50 @@ var presetBuilders = map[string]func() Spec{
 	"geo5dc-large": func() Spec {
 		return Spec{Name: "geo5dc-large", Sites: geo5dcSites(), Scale: 0.4}
 	},
+	// Table I under a diurnal rolling horizon: one epoch per day, arrivals
+	// waving with the afternoon peak, and the class mix alternating between
+	// interactive-heavy weekday-like days and batch/HPC-heavy off days —
+	// the regime drift a static placement slowly goes stale against.
+	"geo3dc-diurnal": func() Spec {
+		return Spec{
+			Name:              "geo3dc-diurnal",
+			Epochs:            7,
+			ArrivalWave:       0.35,
+			EpochClassWeights: diurnalWeights(7),
+		}
+	},
+	// The five-site fleet under a four-regime dynamic workload: the class
+	// mix walks from websearch-heavy through mapreduce- and HPC-heavy to
+	// batch-heavy across the week's four epochs, with waving arrivals —
+	// the rolling-horizon engine's primary evaluation scenario.
+	"geo5dc-dynamic": func() Spec {
+		return Spec{
+			Name:        "geo5dc-dynamic",
+			Sites:       geo5dcSites(),
+			Epochs:      4,
+			ArrivalWave: 0.3,
+			EpochClassWeights: [][]float64{
+				{0.55, 0.20, 0.15, 0.10}, // interactive-heavy
+				{0.25, 0.45, 0.15, 0.15}, // mapreduce-heavy
+				{0.15, 0.20, 0.50, 0.15}, // hpc-heavy
+				{0.15, 0.15, 0.15, 0.55}, // batch-heavy
+			},
+		}
+	},
+}
+
+// diurnalWeights builds the geo3dc-diurnal mix schedule: odd days lean
+// interactive (websearch/mapreduce), even days lean batch/HPC.
+func diurnalWeights(days int) [][]float64 {
+	rows := make([][]float64, days)
+	for d := range rows {
+		if d%2 == 0 {
+			rows[d] = []float64{0.50, 0.25, 0.15, 0.10}
+		} else {
+			rows[d] = []float64{0.20, 0.20, 0.25, 0.35}
+		}
+	}
+	return rows
 }
 
 // Preset returns the named scenario spec. Callers may further customize the

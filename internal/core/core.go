@@ -36,8 +36,13 @@ import (
 	"geovmp/internal/embed"
 	"geovmp/internal/migrate"
 	"geovmp/internal/policy"
+	"geovmp/internal/timeutil"
 	"geovmp/internal/units"
 )
+
+// Compile-time check: the controller participates in the rolling-horizon
+// engine's epoch protocol.
+var _ policy.EpochAware = (*Controller)(nil)
 
 // Controller is the proposed placement method. It carries per-slot state
 // (point positions, centroids) and must be used for one simulation at a
@@ -72,6 +77,13 @@ type Controller struct {
 	positions map[int]embed.Point
 	centroids []embed.Point
 	prevCaps  []float64
+	// reoptimize is armed by StartEpoch and consumed by the next Place: the
+	// boundary slot re-runs the embedding with a warm-restart iteration
+	// boost and rebuilds the capacity caps without the previous epoch's EMA
+	// history, so the layout and the energy budgets re-converge to the new
+	// workload regime instead of drifting toward it one damped slot at a
+	// time.
+	reoptimize bool
 
 	// LastEmbedIters and LastEmbedCost record the most recent embedding
 	// run's iteration count and cost trace (diagnostics).
@@ -93,6 +105,17 @@ func New(alpha float64, seed uint64) *Controller {
 
 // Name implements policy.Policy.
 func (c *Controller) Name() string { return "Proposed" }
+
+// reoptBoost multiplies the embedding iteration budget on an epoch-boundary
+// slot: enough extra sweeps for the warm-started layout to re-converge to a
+// shifted regime, well short of the 5x cold-start budget.
+const reoptBoost = 3
+
+// StartEpoch implements policy.EpochAware: the next Place re-optimizes for
+// the new epoch, warm-started from the carried positions and centroids.
+func (c *Controller) StartEpoch(epoch int, start timeutil.Slot) {
+	c.reoptimize = true
+}
 
 // field adapts a slot's correlation data to the embedding's force model
 // (Eq. 5).
@@ -287,6 +310,14 @@ func (c *Controller) Place(in *policy.Input) policy.Placement {
 	ids := in.ActiveVMs
 	n := len(in.DCs)
 
+	reopt := c.reoptimize
+	c.reoptimize = false
+	if reopt {
+		// New regime: budgets are re-derived from the boundary slot's own
+		// observations rather than damped toward the old epoch's caps.
+		c.prevCaps = nil
+	}
+
 	// Step 1: embedding. Inherited positions persist; a VM seen for the
 	// first time starts at the centroid of its data-correlated peers (its
 	// service lives there already — scattering it across the plane would
@@ -338,6 +369,10 @@ func (c *Controller) Place(in *policy.Input) policy.Placement {
 			// converge before the first clustering; later slots only
 			// refine.
 			cfg.MaxIters = 5 * maxInt(cfg.MaxIters, 20)
+		} else if reopt {
+			// Epoch boundary: warm-started re-optimization toward the new
+			// regime's correlation geometry.
+			cfg.MaxIters = reoptBoost * maxInt(cfg.MaxIters, 20)
 		}
 		res := embed.Run(ids, init, f, cfg)
 		c.LastEmbedIters = res.Iterations

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"geovmp/internal/config"
+	"geovmp/internal/core"
+	"geovmp/internal/policy"
+	"geovmp/internal/sim"
+	"geovmp/internal/timeutil"
+)
+
+// TestEpochEngineDeterministic extends the intra-cell sharding guarantee to
+// the rolling-horizon engine: a geo5dc-dynamic grid — epoch boundaries,
+// engine-side migrate.Run revision under a move budget, migration
+// energy/downtime charging, per-epoch stats — must produce byte-identical
+// ResultSet JSON at Parallelism 1, 2 and GOMAXPROCS+6. The CI race job runs
+// this package, so the engine's sharded passes also get the race detector.
+func TestEpochEngineDeterministic(t *testing.T) {
+	spec, err := config.Preset("geo5dc-dynamic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = 0.02 // above the embedding's exact threshold, like the sharding test
+	spec.Seed = 23
+	spec.Horizon = timeutil.Hours(4) // the preset's 4 epochs: one slot each
+	spec.FineStepSec = 600
+	spec.Migration = sim.MigrationBudget{MaxMovesPerEpoch: 40}
+	grid := func(parallelism int) Grid {
+		return Grid{
+			Scenarios: []config.Spec{spec},
+			Policies: []PolicySpec{
+				{Name: "Proposed", New: func(seed uint64) policy.Policy { return core.New(0.9, seed) }},
+				{Name: "Ener-aware", New: func(uint64) policy.Policy { return policy.EnerAware{} }},
+			},
+			SeedOffsets: []uint64{0, 1},
+			Parallelism: parallelism,
+		}
+	}
+	base, err := Run(context.Background(), grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial baseline must itself exercise the engine.
+	if r := base.At(0, 0, 0).Result; r == nil || len(r.Epochs) != 4 {
+		t.Fatalf("baseline cell carries no epoch breakdown: %+v", base.At(0, 0, 0))
+	}
+	for _, p := range []int{2, runtime.GOMAXPROCS(0) + 6} {
+		set, err := Run(context.Background(), grid(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, set) {
+			t.Fatalf("Parallelism=%d: rolling-horizon ResultSet differs from serial run", p)
+		}
+		js, err := set.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(baseJSON, js) {
+			t.Fatalf("Parallelism=%d: JSON export differs from serial run", p)
+		}
+	}
+}

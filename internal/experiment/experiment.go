@@ -239,25 +239,44 @@ func (s *Set) Err() error {
 }
 
 // cellJSON is the stable flattened export schema: one row per cell with the
-// headline metrics.
+// headline metrics. Rolling-horizon cells additionally carry the charged
+// migration overhead and the per-epoch breakdown; static cells omit those
+// fields, keeping the pre-epoch encoding byte-identical.
 type cellJSON struct {
-	Scenario          string  `json:"scenario"`
-	Policy            string  `json:"policy"`
-	Seed              uint64  `json:"seed"`
-	Error             string  `json:"error,omitempty"`
-	CostEUR           float64 `json:"cost_eur"`
-	EnergyGJ          float64 `json:"energy_gj"`
-	WorstRespS        float64 `json:"worst_resp_s"`
-	MeanRespS         float64 `json:"mean_resp_s"`
-	Migrations        int     `json:"migrations"`
-	MigRejected       int     `json:"mig_rejected"`
-	MeanActiveServers float64 `json:"mean_active_servers"`
-	GridKWh           float64 `json:"grid_kwh"`
-	RenewableUsedKWh  float64 `json:"renewable_used_kwh"`
-	RenewableLostKWh  float64 `json:"renewable_lost_kwh"`
-	BatteryOutKWh     float64 `json:"battery_out_kwh"`
-	IntraGB           float64 `json:"intra_gb"`
-	CrossGB           float64 `json:"cross_gb"`
+	Scenario          string      `json:"scenario"`
+	Policy            string      `json:"policy"`
+	Seed              uint64      `json:"seed"`
+	Error             string      `json:"error,omitempty"`
+	CostEUR           float64     `json:"cost_eur"`
+	EnergyGJ          float64     `json:"energy_gj"`
+	WorstRespS        float64     `json:"worst_resp_s"`
+	MeanRespS         float64     `json:"mean_resp_s"`
+	Migrations        int         `json:"migrations"`
+	MigRejected       int         `json:"mig_rejected"`
+	MeanActiveServers float64     `json:"mean_active_servers"`
+	GridKWh           float64     `json:"grid_kwh"`
+	RenewableUsedKWh  float64     `json:"renewable_used_kwh"`
+	RenewableLostKWh  float64     `json:"renewable_lost_kwh"`
+	BatteryOutKWh     float64     `json:"battery_out_kwh"`
+	IntraGB           float64     `json:"intra_gb"`
+	CrossGB           float64     `json:"cross_gb"`
+	MigEnergyKWh      float64     `json:"mig_energy_kwh,omitempty"`
+	MigDowntimeS      float64     `json:"mig_downtime_s,omitempty"`
+	Epochs            []epochJSON `json:"epochs,omitempty"`
+}
+
+// epochJSON is one epoch of a rolling-horizon cell.
+type epochJSON struct {
+	Epoch        int     `json:"epoch"`
+	StartSlot    int     `json:"start_slot"`
+	EndSlot      int     `json:"end_slot"`
+	CostEUR      float64 `json:"cost_eur"`
+	EnergyGJ     float64 `json:"energy_gj"`
+	Migrations   int     `json:"migrations"`
+	MigRejected  int     `json:"mig_rejected"`
+	MigratedGB   float64 `json:"migrated_gb"`
+	MigEnergyKWh float64 `json:"mig_energy_kwh"`
+	MigDowntimeS float64 `json:"mig_downtime_s"`
 }
 
 // JSON renders the set as indented JSON: the grid axes plus one flattened
@@ -296,6 +315,22 @@ func (s *Set) JSON() ([]byte, error) {
 			row.BatteryOutKWh = r.BatteryOut.KWh()
 			row.IntraGB = r.IntraBytes.GB()
 			row.CrossGB = r.CrossBytes.GB()
+			row.MigEnergyKWh = r.MigEnergy.KWh()
+			row.MigDowntimeS = r.MigDowntimeSec
+			for _, es := range r.Epochs {
+				row.Epochs = append(row.Epochs, epochJSON{
+					Epoch:        es.Epoch,
+					StartSlot:    es.StartSlot,
+					EndSlot:      es.EndSlot,
+					CostEUR:      float64(es.Cost),
+					EnergyGJ:     es.Energy.GJ(),
+					Migrations:   es.Migrations,
+					MigRejected:  es.MigRejected,
+					MigratedGB:   es.MigratedBytes.GB(),
+					MigEnergyKWh: es.MigEnergy.KWh(),
+					MigDowntimeS: es.MigDowntimeSec,
+				})
+			}
 		}
 		out.Cells[i] = row
 	}

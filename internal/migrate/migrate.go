@@ -46,6 +46,12 @@ type Config struct {
 	Loads      []float64 // per-DC load *before* any migration, Joules (VMs currently there)
 	Constraint float64   // latency constraint per link pair, seconds (e.g. 72 = 2% of a slot)
 	Net        Network
+	// MaxMoves caps the number of migrations the revision may execute: 0
+	// means unlimited (the paper's Algorithm 2), a positive value stops
+	// executing once that many moves are planned (later wishes are
+	// rejected), and a negative value rejects every wish — the
+	// rolling-horizon engine's "budget exhausted" state.
+	MaxMoves int
 }
 
 // Move records one executed migration.
@@ -146,9 +152,12 @@ func Run(cands []Candidate, cfg Config) Result {
 		}
 		return true
 	}
-	// feasible checks the latency constraint for moving c from->to, given
-	// the budget already burned on that link pair.
+	// feasible checks the move-count budget and the latency constraint for
+	// moving c from->to, given the budget already burned on that link pair.
 	feasible := func(c *Candidate, from, to int) (float64, bool) {
+		if cfg.MaxMoves < 0 || (cfg.MaxMoves > 0 && len(res.Moves) >= cfg.MaxMoves) {
+			return 0, false
+		}
 		t := cfg.Net.MigrationTime(from, to, c.Image)
 		if res.LinkSeconds[from][to]+t < cfg.Constraint {
 			return t, true

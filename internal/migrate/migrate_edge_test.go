@@ -1,0 +1,116 @@
+package migrate
+
+import (
+	"testing"
+
+	"geovmp/internal/units"
+)
+
+// The revision's degenerate inputs: no candidates, an exhausted or negative
+// move budget, and a constraint so tight every wish is rejected. These are
+// exactly the states the rolling-horizon engine drives Run through at epoch
+// edges, so they must stay well-defined.
+
+func TestRunEmptyCandidates(t *testing.T) {
+	res := Run(nil, cfg3([]float64{10, 10, 10}, []float64{0, 0, 0}, 72, fakeNet{secPerGB: 1}))
+	if len(res.Placement) != 0 || len(res.Moves) != 0 || res.Rejected != 0 {
+		t.Fatalf("empty revision produced placement=%v moves=%v rejected=%d",
+			res.Placement, res.Moves, res.Rejected)
+	}
+	if len(res.LinkSeconds) != 3 || len(res.Loads) != 3 {
+		t.Fatalf("result tables not sized to NDC: links=%d loads=%d",
+			len(res.LinkSeconds), len(res.Loads))
+	}
+	for i := range res.Loads {
+		if res.Loads[i] != 0 {
+			t.Fatalf("loads mutated with no candidates: %v", res.Loads)
+		}
+	}
+}
+
+func TestRunNegativeMaxMovesRejectsEveryWish(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 1, Image: 2 * units.Gigabyte, Dist: 1},
+		{ID: 2, Current: 1, Target: 2, Load: 1, Image: 2 * units.Gigabyte, Dist: 2},
+		{ID: 3, Current: -1, Target: 2, Load: 1, Image: 2 * units.Gigabyte},
+	}
+	cfg := cfg3([]float64{10, 10, 10}, []float64{1, 1, 0}, 72, fakeNet{secPerGB: 1})
+	cfg.MaxMoves = -1
+	res := Run(cands, cfg)
+	if len(res.Moves) != 0 {
+		t.Fatalf("zero budget executed %d moves", len(res.Moves))
+	}
+	if res.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2 (both movers)", res.Rejected)
+	}
+	if res.Placement[1] != 0 || res.Placement[2] != 1 {
+		t.Fatalf("movers did not stay put: %v", res.Placement)
+	}
+	// New VMs are placed "without the consideration of the network latency
+	// constraint" — and equally without consuming move budget.
+	if res.Placement[3] != 2 {
+		t.Fatalf("new VM placed at %d, want 2", res.Placement[3])
+	}
+}
+
+func TestRunMaxMovesCapsExecution(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 1, Image: 2 * units.Gigabyte, Dist: 1},
+		{ID: 2, Current: 0, Target: 1, Load: 1, Image: 2 * units.Gigabyte, Dist: 2},
+		{ID: 3, Current: 0, Target: 2, Load: 1, Image: 2 * units.Gigabyte, Dist: 3},
+	}
+	cfg := cfg3([]float64{100, 100, 100}, []float64{3, 0, 0}, 1e9, fakeNet{secPerGB: 1})
+	cfg.MaxMoves = 2
+	res := Run(cands, cfg)
+	if len(res.Moves) != 2 {
+		t.Fatalf("executed %d moves, want 2", len(res.Moves))
+	}
+	if res.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", res.Rejected)
+	}
+	moved := 0
+	for _, c := range cands {
+		if res.Placement[c.ID] == c.Target {
+			moved++
+		} else if res.Placement[c.ID] != c.Current {
+			t.Fatalf("candidate %d landed at %d, neither current nor target", c.ID, res.Placement[c.ID])
+		}
+	}
+	if moved != 2 {
+		t.Fatalf("placement shows %d movers, want 2", moved)
+	}
+}
+
+func TestRunAllCandidatesLatencyRejected(t *testing.T) {
+	// Constraint below any single transfer time: every wish is infeasible,
+	// everyone stays, every link budget stays unburned.
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 1, Image: 8 * units.Gigabyte, Dist: 1},
+		{ID: 2, Current: 1, Target: 0, Load: 1, Image: 8 * units.Gigabyte, Dist: 1},
+	}
+	res := Run(cands, cfg3([]float64{100, 100, 100}, []float64{1, 1, 0}, 0.001, fakeNet{secPerGB: 10}))
+	if len(res.Moves) != 0 || res.Rejected != 2 {
+		t.Fatalf("moves=%d rejected=%d, want 0/2", len(res.Moves), res.Rejected)
+	}
+	if res.Placement[1] != 0 || res.Placement[2] != 1 {
+		t.Fatalf("rejected movers displaced: %v", res.Placement)
+	}
+	for i := range res.LinkSeconds {
+		for j, s := range res.LinkSeconds[i] {
+			if s != 0 {
+				t.Fatalf("rejected move burned link %d->%d budget: %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestRunMaxMovesZeroIsUnlimited(t *testing.T) {
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 1, Image: 2 * units.Gigabyte, Dist: 1},
+		{ID: 2, Current: 0, Target: 2, Load: 1, Image: 2 * units.Gigabyte, Dist: 2},
+	}
+	res := Run(cands, cfg3([]float64{100, 100, 100}, []float64{2, 0, 0}, 1e9, fakeNet{secPerGB: 1}))
+	if len(res.Moves) != 2 || res.Rejected != 0 {
+		t.Fatalf("moves=%d rejected=%d, want 2/0 (MaxMoves 0 means unlimited)", len(res.Moves), res.Rejected)
+	}
+}

@@ -74,6 +74,16 @@ type Placement struct {
 	Rejected int
 }
 
+// EpochAware is optionally implemented by policies that react to the
+// rolling-horizon engine's epoch boundaries. The simulator calls StartEpoch
+// once per interior boundary (epoch >= 1), before the boundary slot's
+// Place, so the policy can re-optimize for the new workload regime —
+// warm-started from its carried state, not from scratch. Implementations
+// must stay deterministic: the signal may arrive on any worker schedule.
+type EpochAware interface {
+	StartEpoch(epoch int, start timeutil.Slot)
+}
+
 // Policy is a complete placement method: a global clustering phase and a
 // local server-allocation phase.
 type Policy interface {

@@ -114,6 +114,17 @@ type Scenario struct {
 	// week-long deployment would exhibit (default 6, capped at half the
 	// horizon; negative disables).
 	WarmupSlots int
+	// Epochs splits the horizon into that many rolling-horizon epochs
+	// (see internal/sim/epoch.go): the policy is signalled at each interior
+	// boundary to re-optimize for the new regime, the per-epoch migration
+	// budget resets, and Result gains a per-epoch breakdown. Epochs <= 1
+	// with a zero Migration budget is the static path, byte-identical to a
+	// scenario without these fields.
+	Epochs int
+	// Migration parameterizes the rolling engine's migration accounting:
+	// per-epoch move budget, per-GB transfer energy, per-move downtime.
+	// Setting any field activates the engine even at Epochs <= 1.
+	Migration MigrationBudget
 	// Env optionally supplies the fleet's precomputed PUE / renewable / PV
 	// series (CompileEnvironment). Runs whose horizon and fine step the
 	// table covers read it instead of re-evaluating the site models; a
@@ -167,6 +178,9 @@ func (sc *Scenario) Validate() error {
 	if sc.Horizon.Slots > sc.Workload.Slots() {
 		return fmt.Errorf("sim: horizon %d slots exceeds workload %d", sc.Horizon.Slots, sc.Workload.Slots())
 	}
+	if sc.Epochs < 0 {
+		return fmt.Errorf("sim: negative epoch count %d", sc.Epochs)
+	}
 	return nil
 }
 
@@ -193,6 +207,16 @@ type Result struct {
 	Migrations    int
 	MigRejected   int
 	MigratedBytes units.DataSize
+
+	// Rolling-horizon breakdown (nil on the static path): one entry per
+	// epoch, plus the charged migration overhead totals. MigEnergy is
+	// included in TotalEnergy/EnergyPerDC and its cost in OpCost, but not
+	// in the grid/renewable/battery sourcing fields — the sourcing
+	// decomposition of a rolling cell closes as grid + renewable +
+	// battery + MigEnergy (see MigrationBudget.EnergyPerGB).
+	Epochs         []EpochStat
+	MigEnergy      units.Energy
+	MigDowntimeSec float64
 
 	// Traffic locality: application bytes exchanged within a DC vs across
 	// DCs (the balance the network-aware policies fight over).
@@ -312,10 +336,16 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 	if fineSteps > 0 {
 		fine = newFinePlan(n, fineSteps, sc.FineStepSec)
 	}
+	// Rolling-horizon engine state; nil on the static path, which must stay
+	// byte-identical to the pre-epoch simulator.
+	epoch := newEpochRun(sc, n)
 
 	for sl := timeutil.Slot(0); sl < sc.Horizon.Slots; sl++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if epoch != nil {
+			epoch.startSlot(sl, pol)
 		}
 		ids := w.ActiveVMs(sl)
 		// Swap the active set to this slot's ids and clear the previous
@@ -388,6 +418,10 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		measured := sl >= timeutil.Slot(sc.WarmupSlots)
 		net.Reroll()
 		placement := pol.Place(in)
+		if epoch != nil {
+			placement = epoch.revise(placement, in, net)
+			epoch.moves += len(placement.Moves)
+		}
 		for i := range byDC {
 			byDC[i] = byDC[i][:0]
 		}
@@ -468,6 +502,13 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 			}
 			k++
 		}
+		if epoch != nil {
+			// Charge the slot's executed moves: transfer energy lands in the
+			// per-DC slot energy (so the totals and the demand predictor see
+			// it) priced at the current tariffs, downtime in the per-DC
+			// response adjustment below.
+			slotCost += epoch.chargeMoves(res, placement.Moves, in.Prices, slotEnergy, measured)
+		}
 		var slotTotal units.Energy
 		for i := range fleet {
 			lastEnergy[i] = slotEnergy[i]
@@ -514,8 +555,16 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		if measured {
 			for j := 0; j < n; j++ {
 				resp := net.DestLatency(j, vol)
+				if epoch != nil {
+					// Arriving migrations pause their VMs: the destination's
+					// slot sample carries the charged downtime.
+					resp += epoch.downtime[j]
+				}
 				res.RespSamples = append(res.RespSamples, resp)
 				res.RespSummary.Add(resp)
+			}
+			if epoch != nil {
+				epoch.accumulate(slotCost, slotTotal, placement.Moves, placement.Rejected)
 			}
 		}
 
@@ -535,6 +584,9 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 	}
 	if measuredSlots := int(sc.Horizon.Slots) - sc.WarmupSlots; measuredSlots > 0 {
 		res.MeanActiveServers = activeServerSum / float64(measuredSlots)
+	}
+	if epoch != nil {
+		res.Epochs = epoch.stats
 	}
 	res.FinalPlacement = make(map[int]int, len(current))
 	for id, d := range current {

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geovmp/internal/timeutil"
+)
+
+// Seed corpus: a consistent three-file replay, and variants with the
+// corruption classes the parser must reject cleanly (negative windows,
+// out-of-range ids, absurd slots, junk numbers).
+const (
+	fuzzVMs      = "id,arrival_slot,depart_slot,image_gb\n0,0,3,2.000\n1,1,4,4.000\n"
+	fuzzProfiles = "id,slot,s0,s1\n0,0,0.2000,0.4000\n0,1,0.3000,0.5000\n1,1,0.1000,0.2000\n"
+	fuzzVolumes  = "slot,from,to,bytes\n0,0,1,1000000\n1,1,0,2000000\n"
+)
+
+// FuzzLoadReplay feeds arbitrary CSV triples through the replay parser:
+// it must either return an error or a Replay whose accessors are safe over
+// the whole declared horizon — never panic, never balloon memory from a
+// single absurd row. Successful loads are additionally round-tripped
+// through Compile, which consumes every Source method.
+func FuzzLoadReplay(f *testing.F) {
+	f.Add(fuzzVMs, fuzzProfiles, fuzzVolumes)
+	f.Add("id,arrival_slot,depart_slot,image_gb\n0,-2,-1,2.000\n", fuzzProfiles, fuzzVolumes)
+	f.Add("id,arrival_slot,depart_slot,image_gb\n0,0,99999999,2.000\n", "id,slot,s0\n0,99999999,0.5\n", "slot,from,to,bytes\n-1,0,0,1\n")
+	f.Add("id,arrival_slot,depart_slot,image_gb\n7,0,3,nan\n", "id,slot,s0\n7,0,inf\n", "slot,from,to,bytes\n0,7,9,xyz\n")
+	f.Add("id,arrival_slot,depart_slot,image_gb\n999999999999,0,3,1.0\n", fuzzProfiles, fuzzVolumes)
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, vms, profiles, volumes string) {
+		if len(vms)+len(profiles)+len(volumes) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		dir := t.TempDir()
+		for _, file := range []struct{ name, data string }{
+			{"vms.csv", vms}, {"profiles.csv", profiles}, {"volumes.csv", volumes},
+		} {
+			if err := os.WriteFile(filepath.Join(dir, file.name), []byte(file.data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := LoadReplay(dir)
+		if err != nil {
+			return // rejected cleanly
+		}
+		slots := r.Slots()
+		if slots > 64 {
+			slots = 64
+		}
+		for sl := timeutil.Slot(0); sl < slots; sl++ {
+			for _, id := range r.ActiveVMs(sl) {
+				_ = r.Util(id, sl.Start())
+				_ = r.SlotProfile(id, sl, 4)
+				_ = r.Image(id)
+			}
+			_ = r.Volumes(sl)
+			_ = r.PlannedVolumes(obsSlot(sl), sl)
+		}
+		// Out-of-range queries stay safe.
+		_ = r.ActiveVMs(-1)
+		_ = r.Volumes(r.Slots() + 10)
+		_ = r.SlotProfile(0, -1, 4)
+		if r.Slots() <= 64 && r.NumVMs() <= 256 {
+			c := Compile(r, CompileOptions{Samples: 4, FineStepSec: 900})
+			for sl := timeutil.Slot(0); sl < c.Slots(); sl++ {
+				for _, id := range c.ActiveVMs(sl) {
+					row := c.ProfileRow(id, sl)
+					if row == nil {
+						continue
+					}
+					want := r.SlotProfile(id, sl, 4)
+					for i := range row {
+						// NaN from junk CSV numbers is preserved, not equal.
+						if row[i] != want[i] && !(row[i] != row[i] && want[i] != want[i]) {
+							t.Fatalf("compiled profile diverges at vm %d slot %d: %v vs %v", id, sl, row, want)
+						}
+					}
+				}
+			}
+		}
+	})
+}

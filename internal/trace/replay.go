@@ -238,6 +238,15 @@ func firstErr(errs ...error) error {
 	return nil
 }
 
+// maxReplaySlots and maxReplayVMs bound what a replay directory may
+// declare (~3.7 years of hourly slots, ~a million VMs): per-VM and
+// per-slot tables are sized from the declared values, so an absurd number
+// in one CSV row must be a parse error, not a memory blow-up.
+const (
+	maxReplaySlots = 1 << 15
+	maxReplayVMs   = 1 << 20
+)
+
 // LoadReplay reads a replay-format directory.
 func LoadReplay(dir string) (*Replay, error) {
 	r := &Replay{}
@@ -262,8 +271,14 @@ func LoadReplay(dir string) (*Replay, error) {
 		if err := firstErr(err1, err2, err3, err4); err != nil {
 			return nil, fmt.Errorf("trace: vms.csv: %w", err)
 		}
-		if id < 0 || dep < arr {
+		if id < 0 || arr < 0 || dep < arr {
 			return nil, fmt.Errorf("trace: vms.csv: invalid VM row %v", row)
+		}
+		if id >= maxReplayVMs {
+			return nil, fmt.Errorf("trace: vms.csv: id %d beyond the %d-VM replay bound", id, maxReplayVMs)
+		}
+		if dep > maxReplaySlots {
+			return nil, fmt.Errorf("trace: vms.csv: depart slot %d beyond the %d-slot replay bound", dep, maxReplaySlots)
 		}
 		vms = append(vms, vmRow{id, timeutil.Slot(arr), timeutil.Slot(dep), units.DataSize(gb * 1e9)})
 		if id > maxID {
@@ -290,7 +305,7 @@ func LoadReplay(dir string) (*Replay, error) {
 		if err := firstErr(err1, err2); err != nil {
 			return nil, fmt.Errorf("trace: profiles.csv: %w", err)
 		}
-		if id < 0 || id > maxID || sl < 0 {
+		if id < 0 || id > maxID || sl < 0 || sl >= maxReplaySlots {
 			return nil, fmt.Errorf("trace: profiles.csv: bad row %v", row)
 		}
 		if timeutil.Slot(sl) >= r.slots {

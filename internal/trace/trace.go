@@ -116,6 +116,15 @@ type Service struct {
 	pairs    []pair
 }
 
+// PhaseMix re-weights the class mix for VMs arriving at or after FromSlot —
+// the building block of non-stationary (diurnal, regime-shifting) workloads.
+// Existing VMs keep their class until departure, so the fleet's mix turns
+// over at the lifetime scale rather than jumping discontinuously.
+type PhaseMix struct {
+	FromSlot timeutil.Slot
+	Weights  []float64 // class-order weights, like Config.ClassWeights
+}
+
 // Config parameterizes workload generation. Zero values select the defaults
 // listed on each field.
 type Config struct {
@@ -128,6 +137,17 @@ type Config struct {
 	MaxPairsPerVM  int     // communication degree cap inside a service (default 4)
 	VolumeMeanMB   float64 // log-normal linear mean per pair per slot (default 10, the paper's)
 	ClassWeights   []float64
+	// Phases optionally schedules class-mix shifts over the horizon: a VM
+	// arriving at slot sl draws its service's class from the last phase
+	// whose FromSlot <= sl (ClassWeights before the first phase). Empty
+	// keeps the stationary mix — and the generator's output bit-identical
+	// to a phase-free Config.
+	Phases []PhaseMix
+	// ArrivalWave modulates the Poisson arrival rate diurnally with the
+	// given amplitude in [0, 1): rate(sl) = ArrivalPerSlot x
+	// (1 + wave*cos(2*pi*(h-14)/24)), peaking mid-afternoon UTC. 0 keeps
+	// arrivals stationary.
+	ArrivalWave float64
 }
 
 func (c *Config) applyDefaults() {
@@ -188,7 +208,7 @@ func New(cfg Config) *Workload {
 		if life < 1 {
 			life = 1
 		}
-		svc := w.pickService(svcSrc, classSrc)
+		svc := w.pickService(svcSrc, classSrc, cfg.mixAt(arrival))
 		s := w.services[svc]
 		vm := &VM{
 			ID:      id,
@@ -209,7 +229,7 @@ func New(cfg Config) *Workload {
 		spawn(0)
 	}
 	for sl := timeutil.Slot(1); sl < cfg.Horizon.Slots; sl++ {
-		n := arrivalSrc.Poisson(cfg.ArrivalPerSlot)
+		n := arrivalSrc.Poisson(cfg.rateAt(sl))
 		for i := 0; i < n; i++ {
 			spawn(sl)
 		}
@@ -218,12 +238,39 @@ func New(cfg Config) *Workload {
 	return w
 }
 
+// mixAt returns the class mix in force for a VM arriving at sl: the last
+// scheduled phase covering sl, or the stationary ClassWeights.
+func (c *Config) mixAt(sl timeutil.Slot) []float64 {
+	weights := c.ClassWeights
+	for _, p := range c.Phases {
+		if sl >= p.FromSlot {
+			weights = p.Weights
+		}
+	}
+	return weights
+}
+
+// rateAt returns the Poisson arrival rate for slot sl under the optional
+// diurnal wave (stationary when ArrivalWave is 0).
+func (c *Config) rateAt(sl timeutil.Slot) float64 {
+	rate := c.ArrivalPerSlot
+	if c.ArrivalWave > 0 {
+		h := float64(sl.HourUTC())
+		rate *= 1 + c.ArrivalWave*math.Cos((h-14)/24*2*math.Pi)
+		if rate < 0 {
+			rate = 0
+		}
+	}
+	return rate
+}
+
 // pickService returns the service a new VM joins, creating one when the
-// geometric coin says so (expected size MeanServiceVMs).
-func (w *Workload) pickService(svcSrc, classSrc *rng.Source) int {
+// geometric coin says so (expected size MeanServiceVMs). New services draw
+// their class from the arrival slot's mix.
+func (w *Workload) pickService(svcSrc, classSrc *rng.Source, mix []float64) int {
 	if len(w.services) == 0 || svcSrc.Float64() < 1/w.cfg.MeanServiceVMs {
 		id := len(w.services)
-		class := Class(classSrc.Categorical(w.cfg.ClassWeights))
+		class := Class(classSrc.Categorical(mix))
 		s := &Service{ID: id, Class: class, PeakHour: servicePeakHour(class, svcSrc)}
 		w.services = append(w.services, s)
 		return id

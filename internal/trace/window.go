@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// Window returns a read-only view of src restricted to the slot window
+// [start, start+slots), re-based so the window's first slot is slot 0 — the
+// per-epoch view of a workload. A view over a compiled trace keeps serving
+// from the compiled tables (every query delegates with a slot offset), so
+// slicing an epoch out of a compiled dynamic workload costs nothing.
+//
+// Typical uses: exporting one epoch of a dynamic workload with ExportReplay
+// for replay-driven experiments, or simulating a single epoch in isolation.
+// The window is clamped to src's coverage; VM ids are unchanged.
+func Window(src Source, start timeutil.Slot, slots timeutil.Slot) Source {
+	if start < 0 {
+		start = 0
+	}
+	if max := src.Slots() - start; slots > max {
+		slots = max
+	}
+	if slots < 0 {
+		slots = 0
+	}
+	return &windowSource{src: src, start: start, slots: slots}
+}
+
+type windowSource struct {
+	src   Source
+	start timeutil.Slot
+	slots timeutil.Slot
+}
+
+var _ Source = (*windowSource)(nil)
+
+func (v *windowSource) covers(sl timeutil.Slot) bool { return sl >= 0 && sl < v.slots }
+
+// NumVMs implements Source. Ids are global: VMs never active inside the
+// window simply appear in no per-slot list.
+func (v *windowSource) NumVMs() int { return v.src.NumVMs() }
+
+// Slots implements Source.
+func (v *windowSource) Slots() timeutil.Slot { return v.slots }
+
+// Image implements Source.
+func (v *windowSource) Image(id int) units.DataSize { return v.src.Image(id) }
+
+// ActiveVMs implements Source.
+func (v *windowSource) ActiveVMs(sl timeutil.Slot) []int {
+	if !v.covers(sl) {
+		return nil
+	}
+	return v.src.ActiveVMs(sl + v.start)
+}
+
+// Util implements Source, offsetting the step by the window start. Steps
+// outside the window read 0, consistent with the slot-level accessors.
+func (v *windowSource) Util(id int, st timeutil.Step) float64 {
+	if st < 0 || !v.covers(st.Slot()) {
+		return 0
+	}
+	return v.src.Util(id, st+v.start.Start())
+}
+
+// SlotProfile implements Source.
+func (v *windowSource) SlotProfile(id int, sl timeutil.Slot, n int) []float64 {
+	if !v.covers(sl) {
+		return make([]float64, n)
+	}
+	return v.src.SlotProfile(id, sl+v.start, n)
+}
+
+// Volumes implements Source.
+func (v *windowSource) Volumes(sl timeutil.Slot) []VolumeEntry {
+	if !v.covers(sl) {
+		return nil
+	}
+	return v.src.Volumes(sl + v.start)
+}
+
+// PlannedVolumes implements Source. The observation slot is clamped to the
+// window, so slot 0 of the view bootstraps from itself exactly like a
+// from-scratch workload would.
+func (v *windowSource) PlannedVolumes(obs, act timeutil.Slot) []VolumeEntry {
+	if !v.covers(act) {
+		return nil
+	}
+	if obs < 0 {
+		obs = 0
+	}
+	if obs >= v.slots {
+		obs = v.slots - 1
+	}
+	return v.src.PlannedVolumes(obs+v.start, act+v.start)
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"geovmp/internal/timeutil"
+)
+
+// TestWindowMatchesSource pins the per-epoch view's contract: every query
+// at view slot sl equals the source's at sl+start, ids unchanged, and
+// out-of-window queries read empty.
+func TestWindowMatchesSource(t *testing.T) {
+	w := New(Config{Seed: 3, Horizon: timeutil.Hours(12), InitialVMs: 40})
+	const start, slots = 4, 6
+	v := Window(w, start, slots)
+
+	if v.NumVMs() != w.NumVMs() {
+		t.Fatalf("NumVMs %d, want %d", v.NumVMs(), w.NumVMs())
+	}
+	if v.Slots() != slots {
+		t.Fatalf("Slots %d, want %d", v.Slots(), slots)
+	}
+	for sl := timeutil.Slot(0); sl < slots; sl++ {
+		src := timeutil.Slot(start) + sl
+		if !reflect.DeepEqual(v.ActiveVMs(sl), w.ActiveVMs(src)) {
+			t.Fatalf("ActiveVMs(%d) differs from source slot %d", sl, src)
+		}
+		if !reflect.DeepEqual(v.Volumes(sl), w.Volumes(src)) {
+			t.Fatalf("Volumes(%d) differs from source slot %d", sl, src)
+		}
+		for _, id := range v.ActiveVMs(sl) {
+			if got, want := v.Util(id, sl.Start()), w.Util(id, src.Start()); got != want {
+				t.Fatalf("Util(vm %d, view slot %d) = %v, want %v", id, sl, got, want)
+			}
+			if !reflect.DeepEqual(v.SlotProfile(id, sl, 6), w.SlotProfile(id, src, 6)) {
+				t.Fatalf("SlotProfile(vm %d, view slot %d) differs", id, sl)
+			}
+			if v.Image(id) != w.Image(id) {
+				t.Fatalf("Image(%d) differs", id)
+			}
+		}
+	}
+	// The view's slot 0 bootstraps its observations from itself, like a
+	// fresh workload: obs clamps into the window.
+	if !reflect.DeepEqual(v.PlannedVolumes(0, 0), w.PlannedVolumes(start, start)) {
+		t.Fatal("PlannedVolumes(0,0) should observe the window's first slot")
+	}
+	if !reflect.DeepEqual(v.PlannedVolumes(2, 3), w.PlannedVolumes(start+2, start+3)) {
+		t.Fatal("PlannedVolumes(2,3) differs from the offset source query")
+	}
+	// Out-of-window queries are empty, not out-of-range.
+	if v.ActiveVMs(-1) != nil || v.ActiveVMs(slots) != nil {
+		t.Fatal("out-of-window ActiveVMs not empty")
+	}
+	if v.Volumes(slots+3) != nil {
+		t.Fatal("out-of-window Volumes not empty")
+	}
+	postWindow := timeutil.Slot(slots).Start()
+	if got := v.Util(0, postWindow); got != 0 {
+		t.Fatalf("Util past the window = %v, want 0", got)
+	}
+	if got := v.Util(0, -1); got != 0 {
+		t.Fatalf("Util at a negative step = %v, want 0", got)
+	}
+}
+
+// TestWindowOverCompiled asserts a view over a compiled trace serves the
+// compiled values — the zero-copy per-epoch slice of a materialized
+// workload.
+func TestWindowOverCompiled(t *testing.T) {
+	w := New(Config{Seed: 9, Horizon: timeutil.Hours(10), InitialVMs: 30})
+	c := Compile(w, CompileOptions{Samples: 4, FineStepSec: 900})
+	v := Window(c, 3, 5)
+	for sl := timeutil.Slot(0); sl < v.Slots(); sl++ {
+		for _, id := range v.ActiveVMs(sl) {
+			if got, want := v.SlotProfile(id, sl, 4), c.SlotProfile(id, sl+3, 4); !reflect.DeepEqual(got, want) {
+				t.Fatalf("windowed compiled profile differs at vm %d slot %d", id, sl)
+			}
+		}
+	}
+}
+
+// TestWindowClamps pins the constructor's clamping: windows beyond the
+// source's coverage shrink instead of reading out of range.
+func TestWindowClamps(t *testing.T) {
+	w := New(Config{Seed: 1, Horizon: timeutil.Hours(6), InitialVMs: 15})
+	if got := Window(w, 4, 10).Slots(); got != 2 {
+		t.Fatalf("over-long window Slots = %d, want 2", got)
+	}
+	if got := Window(w, -2, 3).Slots(); got != 3 {
+		t.Fatalf("negative-start window Slots = %d, want 3", got)
+	}
+	if got := Window(w, 10, 5).Slots(); got != 0 {
+		t.Fatalf("past-the-end window Slots = %d, want 0", got)
+	}
+}
