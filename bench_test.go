@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"os"
 	"testing"
+
+	"geovmp/internal/experiment"
 )
 
 // benchSpec is the shared reduced scenario: 2% of Table I (30/20/10
@@ -398,6 +400,98 @@ func writeBenchJSON(b *testing.B, path string, artifact any) {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// benchFrontierOpts is the shared frontier benchmark configuration: the
+// reduced dynamic preset under a cost/mean-response frontier at an
+// 11-point budget, one seed.
+func benchFrontierOpts(extra ...FrontierOption) []FrontierOption {
+	spec := MustPreset("geo5dc-dynamic")
+	spec.Scale = 0.02
+	spec.Seed = 42
+	spec.Horizon = Days(1)
+	spec.FineStepSec = 300
+	return append([]FrontierOption{
+		FrontierScenarios(spec),
+		FrontierObjectives(CostObjective(), MeanRespObjective()),
+		FrontierPointBudget(11),
+	}, extra...)
+}
+
+// BenchmarkFrontier measures frontier resolution at equal point budget:
+// sub-benchmark "grid" spends the whole budget on one uniform alpha grid,
+// "adaptive" runs the coarse-then-bisect driver (several waves over the
+// same compiled scenario columns). Reported per variant: evaluated points
+// per second and the run's hypervolume; the adaptive variant additionally
+// reports both hypervolumes under a shared reference point — the apples-
+// to-apples frontier-quality comparison — and how many compiles the
+// column sharing saved versus compiling once per wave.
+//
+// When GEOVMP_BENCH_FRONTIER_JSON names a path, the adaptive variant
+// writes the headline numbers there (CI uploads it as BENCH_frontier.json).
+func BenchmarkFrontier(b *testing.B) {
+	run := func(b *testing.B, opts ...FrontierOption) (sf *ScenarioFrontier, pointsPerSec float64) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			fs, err := NewFrontier(benchFrontierOpts(opts...)...).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sf = fs.Scenarios[0]
+		}
+		pointsPerSec = float64(sf.Evals) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(pointsPerSec, "points/s")
+		b.ReportMetric(sf.Hypervolume, "hypervolume")
+		return sf, pointsPerSec
+	}
+	var grid *ScenarioFrontier
+	b.Run("grid", func(b *testing.B) {
+		grid, _ = run(b, FrontierFixedGrid())
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		before := experiment.CompileCount()
+		adaptive, pointsPerSec := run(b, FrontierCoarseGrid(5), FrontierWaveSize(2))
+		compiles := experiment.CompileCount() - before
+		// One compile per scenario x seed per run; without column sharing
+		// every wave would have compiled its own.
+		compilesSaved := int64(adaptive.Waves-1)*int64(b.N) - (compiles - int64(b.N))
+		b.ReportMetric(float64(adaptive.Waves), "waves")
+		b.ReportMetric(float64(compilesSaved)/float64(b.N), "compiles-saved")
+		if grid == nil {
+			return
+		}
+		// Frontier quality under one shared reference: the acceptance
+		// criterion's comparison (same helper as TestAdaptiveBeatsFixedGrid),
+		// tracked across PRs.
+		hvAdaptive, hvGrid := sharedRefHypervolumes(adaptive, grid)
+		b.ReportMetric(hvAdaptive, "hv-adaptive")
+		b.ReportMetric(hvGrid, "hv-grid")
+		path := os.Getenv("GEOVMP_BENCH_FRONTIER_JSON")
+		if path == "" || b.N == 0 {
+			return
+		}
+		writeBenchJSON(b, path, struct {
+			Benchmark     string  `json:"benchmark"`
+			N             int     `json:"n"`
+			PointsPerSec  float64 `json:"points_per_sec"`
+			Waves         int     `json:"waves"`
+			Evals         int     `json:"evals"`
+			CompilesSaved float64 `json:"compiles_saved_per_run"`
+			HVAdaptive    float64 `json:"hv_adaptive_shared_ref"`
+			HVGrid        float64 `json:"hv_grid_shared_ref"`
+			NsPerOp       float64 `json:"ns_per_op"`
+		}{
+			Benchmark:     "BenchmarkFrontier/adaptive",
+			N:             b.N,
+			PointsPerSec:  pointsPerSec,
+			Waves:         adaptive.Waves,
+			Evals:         adaptive.Evals,
+			CompilesSaved: float64(compilesSaved) / float64(b.N),
+			HVAdaptive:    hvAdaptive,
+			HVGrid:        hvGrid,
+			NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
 }
 
 // benchLargeSpec is the global-phase stress scenario: the geo5dc-large

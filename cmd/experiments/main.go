@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast]
+//	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast|epochs|frontier]
 //	            [-scale 0.05] [-seed 42] [-seeds 1] [-days 7] [-finestep 60]
 //	            [-par 0] [-out results] [-json results/cells.json]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
@@ -37,7 +38,7 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "all", "experiment: all, figs, table1, fig1..fig6, alpha, noembed, qos, battery, forecast, epochs")
+	expName  = flag.String("exp", "all", "experiment: all, figs, table1, fig1..fig6, alpha, noembed, qos, battery, forecast, epochs, frontier")
 	scale    = flag.Float64("scale", 0.05, "Table I fleet scale (1.0 = paper)")
 	seed     = flag.Uint64("seed", 42, "experiment seed")
 	days     = flag.Int("days", 7, "horizon in days (paper: 7)")
@@ -153,7 +154,7 @@ func main() {
 	switch *expName {
 	case "all":
 		err = runFigures(ctx, true)
-		for _, ab := range []func(context.Context) error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast, runEpochSweep} {
+		for _, ab := range []func(context.Context) error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast, runEpochSweep, runFrontier} {
 			if err != nil {
 				break
 			}
@@ -174,6 +175,8 @@ func main() {
 		err = runForecast(ctx)
 	case "epochs":
 		err = runEpochSweep(ctx)
+	case "frontier":
+		err = runFrontier(ctx)
 	default:
 		stopProfiles()
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
@@ -440,6 +443,52 @@ func runEpochSweep(ctx context.Context) error {
 	}
 	fmt.Print(fig.Render())
 	return fig.WriteCSV(*outDir)
+}
+
+// runFrontier resolves the cost / mean-response trade-off frontier of the
+// base scenario with the adaptive driver: a coarse alpha grid first, then
+// refinement waves bisecting the largest hypervolume gaps, with the
+// metaheuristic search and two static heuristics framing the front. Every
+// wave reuses the scenario x seed's compiled workload and environment. The
+// frontier table goes to stdout and CSV; the SVG front and the FrontierSet
+// JSON land under -out.
+func runFrontier(ctx context.Context) error {
+	fmt.Println("frontier: adaptive alpha sweep vs baselines (cost vs mean response)")
+	fs, err := geovmp.NewFrontier(
+		geovmp.FrontierScenarios(baseSpec("paper-geo3dc")),
+		geovmp.FrontierObjectives(geovmp.CostObjective(), geovmp.MeanRespObjective()),
+		geovmp.FrontierPointBudget(13),
+		geovmp.FrontierCoarseGrid(5),
+		geovmp.FrontierSeeds(*seeds),
+		geovmp.FrontierParallelism(*par),
+		geovmp.FrontierBaselines(
+			geovmp.NewPolicySpec("Pareto-search", func(seed uint64) geovmp.Policy {
+				return geovmp.ParetoSearch(seed)
+			}),
+			geovmp.NewPolicySpec("Net-aware", func(uint64) geovmp.Policy { return geovmp.NetAware() }),
+			geovmp.NewPolicySpec("Ener-aware", func(uint64) geovmp.Policy { return geovmp.EnerAware() }),
+		),
+	).Run(ctx)
+	if err != nil {
+		return err
+	}
+	for _, sf := range fs.Scenarios {
+		fig := geovmp.FrontierFigure(sf)
+		fmt.Print(fig.Render())
+		if knee := sf.KneePoint(); knee != nil {
+			fmt.Printf("knee: %s at %v\n", knee.Name, knee.V)
+		}
+		// WriteCSV has created outDir by the time the SVG lands next to it.
+		if err := fig.WriteCSV(*outDir); err != nil {
+			return err
+		}
+		svgPath := filepath.Join(*outDir, "frontier-"+sf.Scenario+".svg")
+		if err := os.WriteFile(svgPath, []byte(geovmp.FrontierSVG(sf)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("front SVG written to %s\n", svgPath)
+	}
+	return fs.WriteJSON(filepath.Join(*outDir, "frontier.json"))
 }
 
 // runForecast is ablation A5: renewable forecaster quality, swept on the

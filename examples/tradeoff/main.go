@@ -1,9 +1,13 @@
-// Tradeoff sweeps the proposed controller's alpha — the Eq. 5 weighting
-// between data-correlation attraction (performance) and CPU-load-correlation
-// repulsion (energy) — and prints the cost/energy/response frontier the
-// paper explores in Figures 5 and 6. The whole frontier is one experiment
-// grid: seven policy variants (five alphas plus two framing baselines)
-// evaluated concurrently on identical scenario replicas.
+// Tradeoff resolves the cost/response frontier the paper explores in
+// Figures 5 and 6 — but instead of a hand-picked alpha grid it drives the
+// adaptive Frontier API: a coarse sweep of the Eq. 5 weighting first, then
+// refinement waves that bisect the alpha intervals spanning the largest
+// hypervolume gaps, so the evaluation budget concentrates where the
+// trade-off actually bends. Three baselines frame the front: Net-aware
+// anchors the performance end, Ener-aware the energy end, and the
+// Pareto-search metaheuristic competes with the controller point for
+// point. Every refinement wave reuses the scenario's compiled workload —
+// the whole frontier compiles it once per seed.
 //
 //	go run ./examples/tradeoff
 package main
@@ -24,41 +28,32 @@ func main() {
 		geovmp.WithFineStep(60),
 	)
 
-	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
-	pols := make([]geovmp.PolicySpec, 0, len(alphas)+2)
-	for _, a := range alphas {
-		pols = append(pols, geovmp.NewPolicySpec(fmt.Sprintf("alpha=%.1f", a),
-			func(seed uint64) geovmp.Policy { return geovmp.Proposed(a, seed) }))
-	}
-	// The baselines frame the frontier: Net-aware anchors the performance
-	// end, Ener-aware the energy end.
-	pols = append(pols,
-		geovmp.NewPolicySpec("Net-aware", func(uint64) geovmp.Policy { return geovmp.NetAware() }),
-		geovmp.NewPolicySpec("Ener-aware", func(uint64) geovmp.Policy { return geovmp.EnerAware() }),
-	)
-
-	set, err := geovmp.NewExperiment(
-		geovmp.WithScenarios(spec),
-		geovmp.WithPolicies(pols...),
+	fs, err := geovmp.NewFrontier(
+		geovmp.FrontierScenarios(spec),
+		geovmp.FrontierObjectives(geovmp.CostObjective(), geovmp.MeanRespObjective()),
+		geovmp.FrontierPointBudget(11),
+		geovmp.FrontierCoarseGrid(5),
+		geovmp.FrontierBaselines(
+			geovmp.NewPolicySpec("Pareto-search", func(seed uint64) geovmp.Policy {
+				return geovmp.ParetoSearch(seed)
+			}),
+			geovmp.NewPolicySpec("Net-aware", func(uint64) geovmp.Policy { return geovmp.NetAware() }),
+			geovmp.NewPolicySpec("Ener-aware", func(uint64) geovmp.Policy { return geovmp.EnerAware() }),
+		),
 	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("alpha   cost(EUR)  energy(GJ)  worst-resp(s)  mean-resp(s)  cross-DC(GB)")
-	fmt.Println("-----   ---------  ----------  -------------  ------------  ------------")
-	for i, a := range alphas {
-		r := set.At(0, i, 0).Result
-		fmt.Printf("%.1f     %9.2f  %10.4f  %13.2f  %12.2f  %12.1f\n",
-			a, float64(r.OpCost), r.TotalEnergy.GJ(),
-			r.RespSummary.Max(), r.RespSummary.Mean(), r.CrossBytes.GB())
-	}
+	sf := fs.Scenarios[0]
+	fmt.Print(geovmp.FrontierFigure(sf).Render())
 	fmt.Println()
-	for pi := len(alphas); pi < len(pols); pi++ {
-		r := set.At(0, pi, 0).Result
-		fmt.Printf("%-10s cost=%.2f energy=%.4fGJ worst-resp=%.2fs\n",
-			set.Policies[pi], float64(r.OpCost), r.TotalEnergy.GJ(), r.RespSummary.Max())
+	if knee := sf.KneePoint(); knee != nil {
+		fmt.Printf("knee of the front: %s (cost %.2f EUR, mean resp %.2f s)\n",
+			knee.Name, knee.V[0], knee.V[1])
 	}
+	fmt.Printf("front resolved with %d evaluations in %d waves (hypervolume %.4g, spread %.3f)\n",
+		sf.Evals, sf.Waves, sf.Hypervolume, sf.Spread)
 	fmt.Println("\nhigher alpha -> tighter data locality -> better response;")
 	fmt.Println("lower alpha  -> stronger peak separation in the plane (energy side).")
 }

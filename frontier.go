@@ -1,0 +1,498 @@
+package geovmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
+	"geovmp/internal/config"
+	"geovmp/internal/experiment"
+	"geovmp/internal/par"
+	"geovmp/internal/pareto"
+	"geovmp/internal/policy"
+	"geovmp/internal/report"
+	"geovmp/internal/viz"
+)
+
+// Objective is one axis of a trade-off frontier: a stable name (used in
+// FrontierSet JSON and reports) and an extractor mapping a run's Result to
+// a scalar. All objectives are minimized; negate inside Of for quantities
+// you want maximized.
+type Objective struct {
+	Name string
+	Of   func(*Result) float64
+}
+
+// CostObjective measures operational cost in EUR (Fig. 1).
+func CostObjective() Objective {
+	return Objective{Name: "cost_eur", Of: func(r *Result) float64 { return float64(r.OpCost) }}
+}
+
+// EnergyObjective measures total facility energy in GJ (Fig. 2).
+func EnergyObjective() Objective {
+	return Objective{Name: "energy_gj", Of: func(r *Result) float64 { return r.TotalEnergy.GJ() }}
+}
+
+// MeanRespObjective measures the mean response time in seconds (Fig. 3).
+func MeanRespObjective() Objective {
+	return Objective{Name: "mean_resp_s", Of: func(r *Result) float64 { return r.RespSummary.Mean() }}
+}
+
+// WorstRespObjective measures the worst-case response time in seconds —
+// the paper's SLA metric.
+func WorstRespObjective() Objective {
+	return Objective{Name: "worst_resp_s", Of: func(r *Result) float64 { return r.RespSummary.Max() }}
+}
+
+// P95RespObjective measures the 95th-percentile response time in seconds
+// (nearest-rank over the run's per-slot, per-DC samples) — stabler than the
+// worst case, stricter than the mean.
+func P95RespObjective() Objective {
+	return Objective{Name: "p95_resp_s", Of: func(r *Result) float64 {
+		return respQuantile(r, 0.95)
+	}}
+}
+
+// MigDowntimeObjective measures the charged migration downtime in seconds
+// (zero on the static path; see WithMigrationBudget).
+func MigDowntimeObjective() Objective {
+	return Objective{Name: "mig_downtime_s", Of: func(r *Result) float64 { return r.MigDowntimeSec }}
+}
+
+// respQuantile is the nearest-rank q-quantile of the response samples.
+func respQuantile(r *Result, q float64) float64 {
+	if len(r.RespSamples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.RespSamples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// FrontierSet is a frontier run's structured outcome: one resolved
+// ScenarioFrontier per scenario, with deterministic, stable-ordered JSON
+// export (JSON, WriteJSON) suitable for golden files.
+type FrontierSet = pareto.FrontierSet
+
+// ScenarioFrontier is one scenario's resolved trade-off frontier: the
+// evaluated points with non-domination ranks, the Pareto-optimal subset,
+// the knee selection and the hypervolume/spread indicators.
+type ScenarioFrontier = pareto.ScenarioFrontier
+
+// FrontierPoint is one evaluated configuration of a scenario frontier.
+type FrontierPoint = pareto.FrontierPoint
+
+// Frontier declares a multi-objective trade-off exploration: scenarios x a
+// scalar policy knob (by default the proposed controller's Eq. 5 alpha) x
+// seeds, evaluated against a set of objectives. Run drives the knob with
+// the adaptive frontier driver: a coarse grid first, then refinement waves
+// bisecting the knob intervals spanning the largest hypervolume gaps, until
+// the point budget is spent. Every wave of a scenario runs as one
+// experiment-engine grid over the SAME pre-compiled workload and
+// environment (one compile per scenario x seed for the whole frontier, not
+// per wave), so refinement costs simulation time only.
+//
+//	fs, err := geovmp.NewFrontier(
+//	    geovmp.FrontierScenarios(spec),
+//	    geovmp.FrontierObjectives(geovmp.CostObjective(), geovmp.MeanRespObjective()),
+//	    geovmp.FrontierPointBudget(12),
+//	    geovmp.FrontierBaselines(
+//	        geovmp.NewPolicySpec("Pareto-search", func(seed uint64) geovmp.Policy {
+//	            return geovmp.ParetoSearch(seed)
+//	        }),
+//	    ),
+//	).Run(ctx)
+//	knee := fs.Scenarios[0].KneePoint()
+type Frontier struct {
+	scenarios   []Spec
+	objectives  []Objective
+	seeds       int
+	parallelism int
+	budget      int
+	coarse      int
+	waveSize    int
+	fixed       bool
+	knobName    string
+	knobLo      float64
+	knobHi      float64
+	knobMk      func(t float64, seed uint64) Policy
+	baselines   []PolicySpec
+	errs        []error
+}
+
+// FrontierOption configures a Frontier under construction.
+type FrontierOption func(*Frontier)
+
+// NewFrontier builds a frontier exploration from options. Without options
+// it sweeps the proposed controller's alpha over the paper's Table I world
+// against the cost and mean-response objectives with a 12-point budget.
+func NewFrontier(opts ...FrontierOption) *Frontier {
+	f := &Frontier{
+		seeds:    1,
+		budget:   12,
+		coarse:   5,
+		waveSize: 4,
+		knobName: "alpha",
+		knobLo:   0,
+		knobHi:   1,
+		knobMk:   func(t float64, seed uint64) Policy { return Proposed(t, seed) },
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// FrontierScenarios sets the scenario axis; each scenario resolves its own
+// frontier.
+func FrontierScenarios(specs ...Spec) FrontierOption {
+	return func(f *Frontier) { f.scenarios = append(f.scenarios, specs...) }
+}
+
+// FrontierPresets appends registered named scenarios to the scenario axis.
+func FrontierPresets(names ...string) FrontierOption {
+	return func(f *Frontier) {
+		for _, n := range names {
+			spec, err := config.Preset(n)
+			if err != nil {
+				f.errs = append(f.errs, err)
+				continue
+			}
+			f.scenarios = append(f.scenarios, spec)
+		}
+	}
+}
+
+// FrontierObjectives sets the objective axes (at least two for a
+// meaningful frontier; the default is cost vs mean response).
+func FrontierObjectives(objs ...Objective) FrontierOption {
+	return func(f *Frontier) { f.objectives = append(f.objectives, objs...) }
+}
+
+// FrontierSeeds evaluates every point over n consecutive seeds and builds
+// the frontier from the per-point mean objective vectors.
+func FrontierSeeds(n int) FrontierOption {
+	return func(f *Frontier) {
+		if n < 1 {
+			f.errs = append(f.errs, fmt.Errorf("geovmp: FrontierSeeds(%d): need at least one seed", n))
+			return
+		}
+		f.seeds = n
+	}
+}
+
+// FrontierParallelism sets the engine worker budget each evaluation wave
+// runs under (see WithParallelism; 0 selects GOMAXPROCS). Any value yields
+// byte-identical frontiers.
+func FrontierParallelism(n int) FrontierOption {
+	return func(f *Frontier) { f.parallelism = n }
+}
+
+// FrontierPointBudget caps the number of knob evaluations per scenario,
+// the coarse grid included (default 12). Baselines don't count against it.
+func FrontierPointBudget(n int) FrontierOption {
+	return func(f *Frontier) {
+		if n < 2 {
+			f.errs = append(f.errs, fmt.Errorf("geovmp: FrontierPointBudget(%d): need at least two points", n))
+			return
+		}
+		f.budget = n
+	}
+}
+
+// FrontierCoarseGrid sets the size of the adaptive driver's initial
+// uniform grid (default 5, minimum 2 — refinement needs an interval to
+// bisect).
+func FrontierCoarseGrid(n int) FrontierOption {
+	return func(f *Frontier) {
+		if n < 2 {
+			f.errs = append(f.errs, fmt.Errorf("geovmp: FrontierCoarseGrid(%d): need at least two points", n))
+			return
+		}
+		f.coarse = n
+	}
+}
+
+// FrontierWaveSize caps how many refinement points each adaptive wave
+// schedules (default 4); larger waves hand the engine more concurrent
+// cells, smaller waves re-target more often.
+func FrontierWaveSize(n int) FrontierOption {
+	return func(f *Frontier) {
+		if n < 1 {
+			f.errs = append(f.errs, fmt.Errorf("geovmp: FrontierWaveSize(%d): need at least one point per wave", n))
+			return
+		}
+		f.waveSize = n
+	}
+}
+
+// FrontierFixedGrid disables adaptive refinement: the whole point budget
+// is spent on one uniform knob grid in a single wave. This is the baseline
+// the adaptive driver is benchmarked against (BenchmarkFrontier), not the
+// recommended mode.
+func FrontierFixedGrid() FrontierOption {
+	return func(f *Frontier) { f.fixed = true }
+}
+
+// FrontierKnob replaces the default alpha knob: points are labeled
+// "name=<value>", t sweeps [lo, hi], and mk constructs the policy for one
+// knob value and cell seed.
+func FrontierKnob(name string, lo, hi float64, mk func(t float64, seed uint64) Policy) FrontierOption {
+	return func(f *Frontier) {
+		if mk == nil {
+			f.errs = append(f.errs, errors.New("geovmp: FrontierKnob: nil constructor"))
+			return
+		}
+		f.knobName, f.knobLo, f.knobHi, f.knobMk = name, lo, hi, mk
+	}
+}
+
+// FrontierBaselines adds fixed policies evaluated alongside the knob sweep
+// (once per scenario, riding the first wave's grid). They join the
+// frontier as knob-less points — framing it, competing for the front, and
+// eligible for the knee.
+func FrontierBaselines(specs ...PolicySpec) FrontierOption {
+	return func(f *Frontier) { f.baselines = append(f.baselines, specs...) }
+}
+
+// Run explores the frontier of every scenario. Cancelling ctx abandons the
+// current wave and returns the error; completed scenarios are lost (run
+// scenarios separately if partial results matter).
+func (f *Frontier) Run(ctx context.Context) (*FrontierSet, error) {
+	if len(f.errs) > 0 {
+		return nil, errors.Join(f.errs...)
+	}
+	if f.knobHi <= f.knobLo {
+		return nil, fmt.Errorf("geovmp: frontier knob range [%v, %v] is empty", f.knobLo, f.knobHi)
+	}
+	scenarios := f.scenarios
+	if len(scenarios) == 0 {
+		scenarios = []Spec{{}}
+	}
+	// Mirror the engine's duplicate-scenario guard: each scenario runs in
+	// its own grid here, so the engine's own check never fires, but
+	// FrontierSet.Scenario lookups and the per-scenario CSV/SVG outputs
+	// would silently collide all the same.
+	seenScenario := make(map[string]bool, len(scenarios))
+	for _, spec := range scenarios {
+		name := spec.Name
+		if name == "" {
+			name = config.DefaultScenarioName
+		}
+		if seenScenario[name] {
+			return nil, fmt.Errorf("geovmp: duplicate frontier scenario name %q", name)
+		}
+		seenScenario[name] = true
+	}
+	objectives := f.objectives
+	if len(objectives) == 0 {
+		objectives = []Objective{CostObjective(), MeanRespObjective()}
+	}
+	if len(objectives) < 2 {
+		return nil, errors.New("geovmp: a frontier needs at least two objectives")
+	}
+	names := make([]string, len(objectives))
+	seen := map[string]bool{}
+	for i, o := range objectives {
+		if o.Of == nil {
+			return nil, fmt.Errorf("geovmp: objective %q has no extractor", o.Name)
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("geovmp: duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+		names[i] = o.Name
+	}
+
+	fs := &FrontierSet{Objectives: names, Seeds: f.seeds}
+	for _, spec := range scenarios {
+		sf, err := f.runScenario(ctx, spec, objectives, names)
+		if err != nil {
+			return nil, err
+		}
+		fs.Scenarios = append(fs.Scenarios, sf)
+	}
+	return fs, nil
+}
+
+// runScenario resolves one scenario's frontier: compile each seed's column
+// once, then schedule every evaluation wave through the experiment engine
+// over those shared columns.
+func (f *Frontier) runScenario(ctx context.Context, spec Spec, objectives []Objective, names []string) (*ScenarioFrontier, error) {
+	scenarioName := spec.Name
+	if scenarioName == "" {
+		scenarioName = config.DefaultScenarioName
+	}
+	offsets := make([]uint64, f.seeds)
+	for i := range offsets {
+		offsets[i] = uint64(i)
+	}
+
+	// One compile per scenario x seed for the whole frontier run. The
+	// compile itself is sharded over the same worker budget the waves get.
+	// An injected workload (and the environment, always) is seed-
+	// independent, so all seed columns collapse onto one compile — the
+	// same collapse the engine's lazy path applies.
+	workers := f.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	columns := make(map[uint64]*experiment.Column, f.seeds)
+	compileBudget := par.NewBudget(workers - 1)
+	for _, off := range offsets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if spec.Workload != nil && off > 0 {
+			columns[spec.Seed+off] = columns[spec.Seed]
+			continue
+		}
+		col, err := experiment.CompileColumn(spec, spec.Seed+off, compileBudget)
+		if err != nil {
+			return nil, err
+		}
+		columns[spec.Seed+off] = col
+	}
+	colFor := func(scenario string, seed uint64) *experiment.Column {
+		if scenario != scenarioName {
+			return nil
+		}
+		return columns[seed]
+	}
+
+	var points []FrontierPoint
+	decimals := pareto.KnobDecimals(f.knobLo, f.knobHi)
+	firstWave := true
+	evalGrid := func(pols []PolicySpec) (*ResultSet, error) {
+		set, err := experiment.Run(ctx, experiment.Grid{
+			Scenarios:   []Spec{spec},
+			Policies:    pols,
+			SeedOffsets: offsets,
+			Parallelism: f.parallelism,
+			Columns:     colFor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return set, nil
+	}
+	vectorsOf := func(set *ResultSet, pi int) ([]float64, error) {
+		v := make([]float64, len(objectives))
+		for ki := range set.SeedOffsets {
+			cell := set.At(0, pi, ki)
+			if cell.Result == nil {
+				return nil, fmt.Errorf("geovmp: frontier cell %s/%s/seed+%d failed: %w",
+					cell.Scenario, cell.Policy, ki, cell.Err)
+			}
+			for oi, o := range objectives {
+				v[oi] += o.Of(cell.Result)
+			}
+		}
+		for oi := range v {
+			v[oi] /= float64(len(set.SeedOffsets))
+		}
+		return v, nil
+	}
+
+	eval := func(knobs []float64) ([][]float64, error) {
+		pols := make([]PolicySpec, 0, len(knobs)+len(f.baselines))
+		for _, t := range knobs {
+			t := t
+			pols = append(pols, PolicySpec{
+				Name: knobLabel(f.knobName, decimals, t),
+				New:  func(seed uint64) Policy { return f.knobMk(t, seed) },
+			})
+		}
+		nKnobs := len(pols)
+		if firstWave {
+			// Baselines ride the first wave's grid: same columns, no extra
+			// compile, evaluated exactly once per scenario.
+			pols = append(pols, f.baselines...)
+		}
+		set, err := evalGrid(pols)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]float64, len(knobs))
+		for i := range knobs {
+			v, err := vectorsOf(set, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+			points = append(points, FrontierPoint{
+				Name: set.Policies[i], Knob: knobs[i], HasKnob: true, V: v,
+			})
+		}
+		if firstWave {
+			for pi := nKnobs; pi < len(pols); pi++ {
+				v, err := vectorsOf(set, pi)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, FrontierPoint{Name: set.Policies[pi], V: v})
+			}
+			firstWave = false
+		}
+		return out, nil
+	}
+
+	cfg := pareto.AdaptiveConfig{
+		Lo: f.knobLo, Hi: f.knobHi,
+		Coarse:   f.coarse,
+		Budget:   f.budget,
+		WaveSize: f.waveSize,
+	}
+	var waves int
+	if f.fixed {
+		if _, err := eval(pareto.UniformGrid(f.knobLo, f.knobHi, f.budget)); err != nil {
+			return nil, err
+		}
+		waves = 1
+	} else {
+		res, err := pareto.Adaptive(cfg, eval)
+		if err != nil {
+			return nil, err
+		}
+		waves = res.Waves
+	}
+	return pareto.Resolve(scenarioName, names, points, nil, waves)
+}
+
+// knobLabel names one knob point ("alpha=0.5000"); decimals comes from
+// pareto.KnobDecimals over the knob range, so labels stay unique down to
+// the driver's minimum bisection spacing.
+func knobLabel(name string, decimals int, t float64) string {
+	return fmt.Sprintf("%s=%.*f", name, decimals, t)
+}
+
+// ParetoSearch returns the metaheuristic search baseline: a seeded
+// multi-start local search that perturbs the incumbent placement, climbs
+// under several objective weightings, keeps a non-dominated archive of the
+// outcomes and executes the archive's knee each slot. Pit it against the
+// proposed controller with FrontierBaselines, or run it in any experiment
+// grid. Construct a fresh instance per run.
+func ParetoSearch(seed uint64) *ParetoSearchPolicy { return policy.NewParetoSearch(seed) }
+
+// ParetoSearchPolicy is the concrete type behind ParetoSearch, exposing
+// its search knobs (Starts, Sweeps, Perturb).
+type ParetoSearchPolicy = policy.ParetoSearch
+
+// FrontierFigure renders one scenario frontier as a report table: every
+// point with its knob, objectives, rank and front/knee markers.
+func FrontierFigure(sf *ScenarioFrontier) *Figure { return report.Frontier(sf) }
+
+// FrontierSVG renders one scenario frontier as an SVG scatter of its first
+// two objectives: the Pareto front connected and highlighted, dominated
+// points faded, the knee called out.
+func FrontierSVG(sf *ScenarioFrontier) string { return viz.Front(sf) }

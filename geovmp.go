@@ -42,6 +42,14 @@
 //     and Result carries a per-epoch breakdown. The geo3dc-diurnal and
 //     geo5dc-dynamic presets ship workloads whose class mix and load
 //     shift across epochs.
+//   - Frontier resolves multi-objective trade-off frontiers over the
+//     controller's alpha (or any custom knob): configurable Objective
+//     extractors, non-dominated sorting with hypervolume/spread
+//     indicators and knee-point selection, and an adaptive driver that
+//     bisects the largest hypervolume gaps — every refinement wave
+//     reusing the scenario's compiled workload. ParetoSearch is the
+//     metaheuristic search baseline the frontier pits against the
+//     paper's controller.
 //
 // Everything is deterministic in the seeds: a sweep's ResultSet — and its
 // JSON export — is byte-identical at any parallelism.

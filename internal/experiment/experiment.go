@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +73,14 @@ type Grid struct {
 	// still saturates the budget, and cells x shards never oversubscribe
 	// it. Results are byte-identical at any value.
 	Parallelism int
+	// Columns, when non-nil, supplies pre-compiled per-scenario x seed
+	// state (CompileColumn): a column it returns non-nil for skips the
+	// engine's own lazy compile and is NOT released when the column's
+	// cells finish — the caller owns it and may hand it to further Runs.
+	// This is how multi-wave drivers (the adaptive frontier) evaluate many
+	// grids over one scenario x seed while compiling its workload and
+	// environment exactly once.
+	Columns func(scenario string, seed uint64) *Column
 	// Progress, when non-nil, is called after each cell completes. Calls
 	// are serialized but arrive in completion order, not grid order.
 	Progress func(Progress)
@@ -280,8 +289,11 @@ type epochJSON struct {
 }
 
 // JSON renders the set as indented JSON: the grid axes plus one flattened
-// row per cell. The encoding is deterministic in the grid, so two sweeps of
-// the same grid produce byte-identical output regardless of parallelism.
+// row per cell. The encoding is deterministic in the grid: cells are sorted
+// into grid order (scenario-major, then policy, then seed) on every export,
+// independent of the completion order the workers happened to produce — so
+// two sweeps of the same grid yield byte-identical output at any
+// parallelism and golden files never churn on scheduling.
 func (s *Set) JSON() ([]byte, error) {
 	type setJSON struct {
 		Scenarios   []string   `json:"scenarios"`
@@ -295,8 +307,12 @@ func (s *Set) JSON() ([]byte, error) {
 		SeedOffsets: s.SeedOffsets,
 		Cells:       make([]cellJSON, len(s.Cells)),
 	}
+	ordered := make([]*Cell, len(s.Cells))
 	for i := range s.Cells {
-		c := &s.Cells[i]
+		ordered[i] = &s.Cells[i]
+	}
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Index < ordered[b].Index })
+	for i, c := range ordered {
 		row := cellJSON{Scenario: c.Scenario, Policy: c.Policy, Seed: c.Seed}
 		if c.Err != nil {
 			row.Error = c.Err.Error()
@@ -448,8 +464,22 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 			shared[si*len(offsets)].remaining.Store(int64(len(g.Policies) * len(offsets)))
 		}
 	}
+	// Caller-owned pre-compiled columns slot in before the workers start:
+	// their sharedWorkload entries are born ready and marked external so
+	// neither the lazy compile nor the end-of-column release touches them.
+	if g.Columns != nil {
+		for si := range g.Scenarios {
+			for ki, off := range offsets {
+				if col := g.Columns(set.Scenarios[si], g.Scenarios[si].Seed+off); col != nil {
+					s := &shared[si*len(offsets)+ki]
+					s.src, s.env = col.src, col.env
+					s.external = true
+				}
+			}
+		}
+	}
 	sharedFor := func(si, ki int) *sharedWorkload {
-		if g.Scenarios[si].Workload != nil {
+		if g.Scenarios[si].Workload != nil && !shared[si*len(offsets)+ki].external {
 			ki = 0
 		}
 		return &shared[si*len(offsets)+ki]
@@ -492,21 +522,69 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 	return set, set.Err()
 }
 
+// Column is one scenario x seed's immutable compiled state — the workload's
+// flat tables plus the environment series — packaged for reuse across
+// sweeps. CompileColumn builds one; Grid.Columns feeds them back into Run.
+// Columns are safe for concurrent readers and may back any number of
+// concurrent or sequential sweeps of the same scenario x seed.
+type Column struct {
+	src *trace.Compiled
+	env *sim.Environment
+}
+
+// CompileColumn compiles spec's workload and environment for the given
+// absolute seed, exactly as Run's lazy per-column compile would. Multi-wave
+// drivers call it once per scenario x seed up front and supply the results
+// through Grid.Columns, so wave N reuses wave 0's tables instead of
+// recompiling them.
+func CompileColumn(spec config.Spec, seed uint64, workers *par.Budget) (*Column, error) {
+	spec.Seed = seed
+	compiles.Add(1)
+	src, err := config.CompileWorkload(spec, workers)
+	if err != nil {
+		return nil, err
+	}
+	spec.Workload = src
+	sc, err := config.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, sc.FineStepSec, workers)
+	return &Column{src: src, env: env}, nil
+}
+
+// compiles counts workload/environment compilations engine-wide — the lazy
+// per-column ones plus CompileColumn calls. Tests read it through
+// CompileCount to assert the sharing contract: one compile per scenario x
+// seed, however many waves were swept over it.
+var compiles atomic.Int64
+
+// CompileCount returns the number of scenario x seed compilations performed
+// so far, process-wide. The absolute value is meaningless; tests take
+// deltas around the code under test.
+func CompileCount() int64 { return compiles.Load() }
+
 // sharedWorkload lazily compiles one scenario x seed's workload and
 // environment (PUE / renewable / PV series) and hands the immutable results
 // to every policy run of that grid column, dropping them once the column's
-// last cell is done.
+// last cell is done. External columns (Grid.Columns) arrive pre-filled and
+// are never compiled or released here.
 type sharedWorkload struct {
 	once      sync.Once
 	mu        sync.Mutex
 	src       *trace.Compiled
 	env       *sim.Environment
 	err       error
+	external  bool         // pre-filled by the caller; owned elsewhere
 	remaining atomic.Int64 // cells of the column not yet finished
 }
 
 func (s *sharedWorkload) get(spec config.Spec, workers *par.Budget) (*trace.Compiled, *sim.Environment, error) {
 	s.once.Do(func() {
+		if s.external {
+			return
+		}
+		compiles.Add(1)
 		src, err := config.CompileWorkload(spec, workers)
 		if err != nil {
 			s.err = err
@@ -530,8 +608,9 @@ func (s *sharedWorkload) get(spec config.Spec, workers *par.Budget) (*trace.Comp
 
 // done marks one of the column's cells finished, releasing the compiled
 // tables after the last one so a long sweep's memory follows its frontier.
+// Externally-owned columns are left for their owner to reuse.
 func (s *sharedWorkload) done() {
-	if s.remaining.Add(-1) == 0 {
+	if s.remaining.Add(-1) == 0 && !s.external {
 		s.mu.Lock()
 		s.src, s.env = nil, nil
 		s.mu.Unlock()

@@ -1,0 +1,118 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"geovmp/internal/correlation"
+	"geovmp/internal/units"
+)
+
+// TestParetoSearchPlacesEveryVM checks the basic Placement contract: every
+// active VM gets a DC, new VMs place freely, and nothing lands on an
+// out-of-range DC.
+func TestParetoSearchPlacesEveryVM(t *testing.T) {
+	in := buildInput(t, inputOpts{
+		nVMs:    24,
+		current: map[int]int{0: 0, 1: 1, 2: 2, 3: 0},
+		volumes: func(dm *correlation.DataMatrix) {
+			dm.Add(0, 1, 5*units.Gigabyte)
+			dm.Add(2, 3, 3*units.Gigabyte)
+			dm.Add(4, 5, 8*units.Gigabyte)
+		},
+	})
+	p := NewParetoSearch(7)
+	got := p.Place(in)
+	if len(got.DCOf) != len(in.ActiveVMs) {
+		t.Fatalf("placed %d of %d VMs", len(got.DCOf), len(in.ActiveVMs))
+	}
+	for id, d := range got.DCOf {
+		if d < 0 || d >= len(in.DCs) {
+			t.Fatalf("VM %d placed on out-of-range DC %d", id, d)
+		}
+	}
+	// Moves must only name existing VMs, and each move must match the
+	// final assignment.
+	for _, mv := range got.Moves {
+		cur, ok := in.Current[mv.ID]
+		if !ok {
+			t.Fatalf("move for new VM %d", mv.ID)
+		}
+		if mv.From != cur {
+			t.Fatalf("move %d: From %d, current %d", mv.ID, mv.From, cur)
+		}
+		if got.DCOf[mv.ID] != mv.To {
+			t.Fatalf("move %d: To %d but placed at %d", mv.ID, mv.To, got.DCOf[mv.ID])
+		}
+	}
+}
+
+// TestParetoSearchDeterministicPerInput checks that two fresh instances
+// with the same seed produce identical placements on identical inputs, and
+// a different seed is allowed to differ (the perturbation is seeded).
+func TestParetoSearchDeterministicPerInput(t *testing.T) {
+	mk := func() *Input {
+		return buildInput(t, inputOpts{
+			nVMs:    30,
+			current: map[int]int{0: 0, 1: 1, 2: 2, 3: 0, 4: 1},
+			volumes: func(dm *correlation.DataMatrix) {
+				dm.Add(0, 1, 5*units.Gigabyte)
+				dm.Add(1, 2, 2*units.Gigabyte)
+				dm.Add(6, 7, 9*units.Gigabyte)
+			},
+		})
+	}
+	a := NewParetoSearch(11).Place(mk())
+	b := NewParetoSearch(11).Place(mk())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, same input: placements differ")
+	}
+}
+
+// TestParetoSearchKeepsColdStart checks the degenerate inputs: no active
+// VMs yields an empty placement, not a panic.
+func TestParetoSearchKeepsColdStart(t *testing.T) {
+	in := buildInput(t, inputOpts{nVMs: 0})
+	got := NewParetoSearch(3).Place(in)
+	if len(got.DCOf) != 0 || len(got.Moves) != 0 {
+		t.Fatalf("empty input produced %d placements, %d moves", len(got.DCOf), len(got.Moves))
+	}
+}
+
+// TestParetoSearchRespectsMigrationBudget tightens the per-link latency
+// budget to (almost) zero and checks existing VMs stay put — the search's
+// wishes are executed through the same applyWishes gate as every policy.
+func TestParetoSearchRespectsMigrationBudget(t *testing.T) {
+	current := map[int]int{}
+	for id := 0; id < 20; id++ {
+		current[id] = id % 3
+	}
+	in := buildInput(t, inputOpts{nVMs: 20, current: current})
+	in.Constraint = 1e-9
+	got := NewParetoSearch(5).Place(in)
+	if len(got.Moves) != 0 {
+		t.Fatalf("zero migration budget still executed %d moves", len(got.Moves))
+	}
+	for id, cur := range current {
+		if got.DCOf[id] != cur {
+			t.Fatalf("VM %d moved from %d to %d despite zero budget", id, cur, got.DCOf[id])
+		}
+	}
+}
+
+// TestParetoSearchPrefersLocality gives the search one dominant
+// communication pair split across DCs and checks the knee placement
+// reunites it (the cross-traffic objective at work).
+func TestParetoSearchPrefersLocality(t *testing.T) {
+	in := buildInput(t, inputOpts{
+		nVMs:    12,
+		current: map[int]int{0: 0, 1: 1},
+		volumes: func(dm *correlation.DataMatrix) {
+			dm.Add(0, 1, 500*units.Gigabyte) // overwhelming pair traffic
+		},
+	})
+	got := NewParetoSearch(9).Place(in)
+	if got.DCOf[0] != got.DCOf[1] {
+		t.Fatalf("dominant communication pair left split: VM0 on %d, VM1 on %d", got.DCOf[0], got.DCOf[1])
+	}
+}

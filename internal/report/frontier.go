@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"geovmp/internal/pareto"
+)
+
+// Frontier renders one scenario's resolved trade-off frontier as a figure:
+// one row per evaluated point — knob value, objectives, non-domination
+// rank — with the Pareto-optimal points and the knee marked, and the
+// front's quality indicators in the notes.
+func Frontier(sf *pareto.ScenarioFrontier) *Figure {
+	f := &Figure{
+		ID:    "frontier-" + sf.Scenario,
+		Title: fmt.Sprintf("%s: trade-off frontier (%s)", sf.Scenario, strings.Join(sf.Objectives, " vs ")),
+	}
+	f.Headers = append([]string{"point", "knob"}, sf.Objectives...)
+	f.Headers = append(f.Headers, "rank", "front")
+
+	onFront := make(map[int]bool, len(sf.Front))
+	for _, i := range sf.Front {
+		onFront[i] = true
+	}
+	// Knob precision scales with the evaluated range — same rule as the
+	// point labels — so narrow custom ranges keep distinct table values.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range sf.Points {
+		if p := &sf.Points[i]; p.HasKnob {
+			lo = math.Min(lo, p.Knob)
+			hi = math.Max(hi, p.Knob)
+		}
+	}
+	decimals := pareto.KnobDecimals(lo, hi)
+	for i := range sf.Points {
+		p := &sf.Points[i]
+		knob := "-"
+		if p.HasKnob {
+			knob = fmt.Sprintf("%.*f", decimals, p.Knob)
+		}
+		row := []string{p.Name, knob}
+		for _, v := range p.V {
+			row = append(row, fmt.Sprintf("%.4f", v))
+		}
+		marker := ""
+		switch {
+		case i == sf.Knee:
+			marker = "knee"
+		case onFront[i]:
+			marker = "*"
+		}
+		row = append(row, fmt.Sprintf("%d", p.Rank), marker)
+		f.Rows = append(f.Rows, row)
+	}
+	f.Notes = fmt.Sprintf("hypervolume %.6g, spread %.4f over %d front points; %d evals in %d wave(s)",
+		sf.Hypervolume, sf.Spread, len(sf.Front), sf.Evals, sf.Waves)
+	return f
+}

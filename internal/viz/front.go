@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"geovmp/internal/pareto"
+)
+
+// Front renders a resolved trade-off frontier as an SVG scatter of its
+// first two objectives: dominated points faded gray, the Pareto front
+// connected as a staircase-ordered polyline, the knee called out with a
+// ring, and baseline (knob-less) points labeled. Frontiers with more than
+// two objectives are projected onto the first two.
+func Front(sf *pareto.ScenarioFrontier) string {
+	title := fmt.Sprintf("%s: %s vs %s", sf.Scenario, axisName(sf, 0), axisName(sf, 1))
+	if len(sf.Points) == 0 || len(sf.Objectives) < 2 {
+		return doc(title)
+	}
+	p := plot{x0: math.Inf(1), x1: math.Inf(-1), y0: math.Inf(1), y1: math.Inf(-1)}
+	for i := range sf.Points {
+		v := sf.Points[i].V
+		p.x0 = math.Min(p.x0, v[0])
+		p.x1 = math.Max(p.x1, v[0])
+		p.y0 = math.Min(p.y0, v[1])
+		p.y1 = math.Max(p.y1, v[1])
+	}
+	padX := (p.x1 - p.x0) * 0.08
+	padY := (p.y1 - p.y0) * 0.08
+	if padX == 0 {
+		padX = math.Max(math.Abs(p.x1)*0.05, 1e-9)
+	}
+	if padY == 0 {
+		padY = math.Max(math.Abs(p.y1)*0.05, 1e-9)
+	}
+	p.x0, p.x1 = p.x0-padX, p.x1+padX
+	p.y0, p.y1 = p.y0-padY, p.y1+padY
+
+	body := []string{p.axes(axisName(sf, 0), axisName(sf, 1))}
+
+	onFront := make(map[int]bool, len(sf.Front))
+	for _, i := range sf.Front {
+		onFront[i] = true
+	}
+
+	// Front polyline. Front holds canonical point-order indexes (knob
+	// points first, then baselines), so re-sort by the projected objectives
+	// before tracing — otherwise a baseline on the front would fold the
+	// staircase back across the chart.
+	if len(sf.Front) > 1 {
+		trace := append([]int(nil), sf.Front...)
+		slices.SortFunc(trace, func(a, b int) int {
+			va, vb := sf.Points[a].V, sf.Points[b].V
+			switch {
+			case va[0] < vb[0]:
+				return -1
+			case va[0] > vb[0]:
+				return 1
+			case va[1] < vb[1]:
+				return -1
+			case va[1] > vb[1]:
+				return 1
+			}
+			return 0
+		})
+		path := ""
+		for j, i := range trace {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			v := sf.Points[i].V
+			path += fmt.Sprintf("%s%.1f %.1f ", cmd, p.px(v[0]), p.py(v[1]))
+		}
+		body = append(body, fmt.Sprintf(`<path d="%s" fill="none" stroke="%s" stroke-width="1.5" stroke-dasharray="4 3"/>`, path, Color(0)))
+	}
+
+	for i := range sf.Points {
+		pt := &sf.Points[i]
+		x, y := p.px(pt.V[0]), p.py(pt.V[1])
+		switch {
+		case i == sf.Knee:
+			body = append(body,
+				fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="9" fill="none" stroke="%s" stroke-width="2"/>`, x, y, Color(1)),
+				fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="4.5" fill="%s"/>`, x, y, Color(1)),
+				fmt.Sprintf(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="%s">%s (knee)</text>`,
+					x+12, y+4, Color(1), escape(pt.Name)))
+		case onFront[i]:
+			body = append(body, fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="4.5" fill="%s"/>`, x, y, Color(0)))
+			if !pt.HasKnob {
+				body = append(body, frontLabel(x, y, pt.Name))
+			}
+		default:
+			body = append(body, fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="3" fill="#999999" fill-opacity="0.55"/>`, x, y))
+			if !pt.HasKnob {
+				body = append(body, frontLabel(x, y, pt.Name))
+			}
+		}
+	}
+	body = append(body, fmt.Sprintf(
+		`<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="#555555">hypervolume %.6g · spread %.3f · %d evals / %d waves</text>`,
+		marginL, height-12, sf.Hypervolume, sf.Spread, sf.Evals, sf.Waves))
+	return doc(title, body...)
+}
+
+func frontLabel(x, y float64, name string) string {
+	return fmt.Sprintf(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" fill="#333333">%s</text>`,
+		x+7, y-6, escape(name))
+}
+
+func axisName(sf *pareto.ScenarioFrontier, i int) string {
+	if i < len(sf.Objectives) {
+		return sf.Objectives[i]
+	}
+	return fmt.Sprintf("objective %d", i)
+}
