@@ -402,6 +402,89 @@ func writeBenchJSON(b *testing.B, path string, artifact any) {
 	}
 }
 
+// benchServeLog compiles the geo5dc-dynamic preset at the given fleet
+// scale and derives the serving daemon's replayable event log (per slot:
+// one telemetry observation, then departures, then arrivals).
+func benchServeLog(b *testing.B, scale float64) (*Scenario, []Event, int) {
+	b.Helper()
+	spec := MustPreset("geo5dc-dynamic")
+	spec.Scale = scale
+	spec.Seed = 42
+	spec.Horizon = Days(1)
+	spec.FineStepSec = 300
+	sc, err := NewScenario(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := EventsFromWorkload(sc.Workload, spec.Horizon, 12)
+	arrivals := 0
+	for _, ev := range events {
+		if ev.Kind == EvPlace {
+			arrivals++
+		}
+	}
+	return sc, events, arrivals
+}
+
+// BenchmarkServe measures the online placement daemon on the dynamic
+// preset: one day of geo5dc-dynamic churn replayed through a fresh daemon
+// per iteration at full request parallelism, background reconciler
+// enabled. Reported: sustained arrivals per second and the decision
+// latency percentiles off the daemon's own metrics board — the serving
+// SLO numbers quoted in PERFORMANCE.md. Sub-benchmarks run two fleet
+// scales so per-decision cost growth with fleet size is tracked too.
+//
+// When GEOVMP_BENCH_SERVE_JSON names a path, the larger scale writes its
+// headline numbers there (CI uploads it as BENCH_serve.json).
+func BenchmarkServe(b *testing.B) {
+	run := func(b *testing.B, scale float64) (arrivalsPerSec, p50ms, p99ms float64) {
+		b.Helper()
+		sc, events, arrivals := benchServeLog(b, scale)
+		workers := 8
+		b.ResetTimer()
+		var d *Daemon
+		for i := 0; i < b.N; i++ {
+			var err error
+			d, err = NewDaemon(sc, DaemonOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Replay(events, workers)
+		}
+		lat := d.Board().Snapshot().Hists["serve_decision_latency"]
+		arrivalsPerSec = float64(arrivals) * float64(b.N) / b.Elapsed().Seconds()
+		p50ms, p99ms = lat.P50NS/1e6, lat.P99NS/1e6
+		b.ReportMetric(arrivalsPerSec, "arrivals/s")
+		b.ReportMetric(p50ms, "p50-ms")
+		b.ReportMetric(p99ms, "p99-ms")
+		b.ReportMetric(float64(lat.MaxNS)/1e6, "max-ms")
+		return arrivalsPerSec, p50ms, p99ms
+	}
+	b.Run("scale2pct", func(b *testing.B) { run(b, 0.02) })
+	b.Run("scale8pct", func(b *testing.B) {
+		arrivalsPerSec, p50ms, p99ms := run(b, 0.08)
+		path := os.Getenv("GEOVMP_BENCH_SERVE_JSON")
+		if path == "" || b.N == 0 {
+			return
+		}
+		writeBenchJSON(b, path, struct {
+			Benchmark      string  `json:"benchmark"`
+			N              int     `json:"n"`
+			ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+			P50MS          float64 `json:"decision_p50_ms"`
+			P99MS          float64 `json:"decision_p99_ms"`
+			NsPerOp        float64 `json:"ns_per_op"`
+		}{
+			Benchmark:      "BenchmarkServe/scale8pct",
+			N:              b.N,
+			ArrivalsPerSec: arrivalsPerSec,
+			P50MS:          p50ms,
+			P99MS:          p99ms,
+			NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+}
+
 // benchFrontierOpts is the shared frontier benchmark configuration: the
 // reduced dynamic preset under a cost/mean-response frontier at an
 // 11-point budget, one seed.

@@ -1,0 +1,250 @@
+package alloc
+
+import (
+	"geovmp/internal/power"
+)
+
+// Tracker is the incremental form of the correlation-aware packer: one DC's
+// per-server aggregate profiles maintained across a stream of admissions and
+// departures, so a serving path can answer "which server fits this VM" in
+// O(probe window) work instead of repacking the DC from scratch.
+//
+// Admission uses the same combined-peak test as CorrelationAware — the
+// candidate server's aggregate profile plus the VM's profile must peak under
+// capacity — but the first-fit scan is bounded: a cursor marks the prefix of
+// servers already packed tight (remaining gap below a small fraction of
+// capacity), and each probe examines at most probeLimit servers past it.
+// That trades a sliver of packing quality on the skipped servers for a
+// per-arrival cost independent of how many servers the DC has accumulated;
+// departures re-open the cursor, so space freed behind it is found again.
+//
+// All methods are pure functions of the call sequence: the same admissions
+// and departures in the same order produce bit-identical placements at any
+// concurrency of the caller's surrounding machinery.
+type Tracker struct {
+	capTop     float64
+	samples    int
+	maxServers int
+	probeLimit int
+	cursor     int // servers below this index are considered packed
+	count      int // resident VMs
+	servers    []trackedServer
+}
+
+type trackedServer struct {
+	members   []int
+	aggregate []float64
+	peak      float64 // combined peak of the aggregate profile
+}
+
+// packedFrac: a server whose remaining gap (capacity minus aggregate peak)
+// falls below this fraction of capacity is skipped by the bounded probe.
+const packedFrac = 0.05
+
+// defaultProbeLimit bounds the first-fit window when the caller passes a
+// non-positive probe limit.
+const defaultProbeLimit = 16
+
+// NewTracker returns an empty tracker for a DC of maxServers servers of the
+// given model, expecting profiles of the given sample count.
+func NewTracker(model *power.ServerModel, maxServers, samples, probeLimit int) *Tracker {
+	if probeLimit <= 0 {
+		probeLimit = defaultProbeLimit
+	}
+	return &Tracker{
+		capTop:     model.MaxCapacity(),
+		samples:    samples,
+		maxServers: maxServers,
+		probeLimit: probeLimit,
+	}
+}
+
+// Len returns the number of resident VMs.
+func (t *Tracker) Len() int { return t.count }
+
+// Servers returns the number of servers ever opened.
+func (t *Tracker) Servers() int { return len(t.servers) }
+
+// Members returns the VMs on server srv (nil for a not-yet-opened index).
+// The slice is shared; callers must not modify it.
+func (t *Tracker) Members(srv int) []int {
+	if srv < 0 || srv >= len(t.servers) {
+		return nil
+	}
+	return t.servers[srv].members
+}
+
+// UsedFrac returns the fleet-load proxy scoring uses: the sum of server
+// admission peaks over the DC's total nominal capacity (0 when the DC has
+// no servers; can exceed 1 under overflow).
+func (t *Tracker) UsedFrac() float64 {
+	if t.maxServers <= 0 || t.capTop <= 0 {
+		return 0
+	}
+	var used float64
+	for i := range t.servers {
+		used += t.servers[i].peak
+	}
+	return used / (float64(t.maxServers) * t.capTop)
+}
+
+// combinedPeak returns the admission peak of adding prof to server s.
+func (t *Tracker) combinedPeak(s *trackedServer, prof []float64) float64 {
+	n := len(prof)
+	if n > t.samples {
+		n = t.samples
+	}
+	var peak float64
+	for i := 0; i < n; i++ {
+		if v := s.aggregate[i] + prof[i]; v > peak {
+			peak = v
+		}
+	}
+	if peak < s.peak {
+		// A profile shorter than the aggregate cannot lower the peak.
+		peak = s.peak
+	}
+	return peak
+}
+
+// Probe finds a server for prof: the first server in the bounded window
+// whose combined peak stays under capacity, else a fresh server while the
+// budget allows. It mutates nothing. srv == Servers() means "open a new
+// server" — Commit performs the open. ok is false when the DC is out of
+// capacity; the caller then either rejects or places via Overflow.
+func (t *Tracker) Probe(prof []float64) (srv int, peak float64, ok bool) {
+	end := t.cursor + t.probeLimit
+	if end > len(t.servers) {
+		end = len(t.servers)
+	}
+	for s := t.cursor; s < end; s++ {
+		if p := t.combinedPeak(&t.servers[s], prof); p <= t.capTop+1e-9 {
+			return s, p, true
+		}
+	}
+	if len(t.servers) < t.maxServers {
+		var peak float64
+		for _, u := range prof {
+			if u > peak {
+				peak = u
+			}
+		}
+		return len(t.servers), peak, true
+	}
+	return -1, 0, false
+}
+
+// Overflow returns the least-peaked server (ties to the lowest index), the
+// same spill rule pack() uses when a DC is out of nominal capacity. With no
+// servers open at all it returns 0 — dropping load silently is
+// unacceptable, so Commit opens the server past budget and the caller flags
+// the VM as overflowed. Callers Commit onto the returned server.
+func (t *Tracker) Overflow() int {
+	if len(t.servers) == 0 {
+		return 0
+	}
+	best := 0
+	for s := 1; s < len(t.servers); s++ {
+		if t.servers[s].peak < t.servers[best].peak {
+			best = s
+		}
+	}
+	return best
+}
+
+// Commit places id with profile prof on server srv (opening it when srv ==
+// Servers()) and advances the packed cursor past servers whose gap has
+// closed.
+func (t *Tracker) Commit(srv, id int, prof []float64) {
+	for srv >= len(t.servers) {
+		t.servers = append(t.servers, trackedServer{aggregate: make([]float64, t.samples)})
+	}
+	s := &t.servers[srv]
+	s.members = append(s.members, id)
+	n := len(prof)
+	if n > t.samples {
+		n = t.samples
+	}
+	for i := 0; i < n; i++ {
+		s.aggregate[i] += prof[i]
+	}
+	s.peak = selfPeak(s.aggregate)
+	t.count++
+	for t.cursor < len(t.servers) && t.capTop-t.servers[t.cursor].peak < packedFrac*t.capTop {
+		t.cursor++
+	}
+}
+
+// Remove departs id from server srv, recomputing that server's aggregate
+// exactly from the remaining members' current profiles (incremental
+// subtraction would accumulate float drift) and re-opening the cursor if
+// the freed space sits behind it. It reports whether id was found.
+func (t *Tracker) Remove(srv, id int, profile func(id int) []float64) bool {
+	if srv < 0 || srv >= len(t.servers) {
+		return false
+	}
+	s := &t.servers[srv]
+	found := false
+	w := 0
+	for _, m := range s.members {
+		if m == id && !found {
+			found = true
+			continue
+		}
+		s.members[w] = m
+		w++
+	}
+	if !found {
+		return false
+	}
+	s.members = s.members[:w]
+	t.count--
+	t.rebuild(srv, profile)
+	if srv < t.cursor && t.capTop-s.peak >= packedFrac*t.capTop {
+		t.cursor = srv
+	}
+	return true
+}
+
+// rebuild recomputes one server's aggregate profile and peak from its
+// members' current profiles.
+func (t *Tracker) rebuild(srv int, profile func(id int) []float64) {
+	s := &t.servers[srv]
+	for i := range s.aggregate {
+		s.aggregate[i] = 0
+	}
+	for _, m := range s.members {
+		prof := profile(m)
+		n := len(prof)
+		if n > t.samples {
+			n = t.samples
+		}
+		for i := 0; i < n; i++ {
+			s.aggregate[i] += prof[i]
+		}
+	}
+	s.peak = selfPeak(s.aggregate)
+}
+
+// RebuildAll recomputes every server's aggregate from current profiles and
+// resets the packed cursor — the telemetry-refresh path, run when a new
+// observation slot replaces the fleet's profiles wholesale.
+func (t *Tracker) RebuildAll(profile func(id int) []float64) {
+	for srv := range t.servers {
+		t.rebuild(srv, profile)
+	}
+	t.cursor = 0
+	for t.cursor < len(t.servers) && t.capTop-t.servers[t.cursor].peak < packedFrac*t.capTop {
+		t.cursor++
+	}
+}
+
+func selfPeak(agg []float64) float64 {
+	var peak float64
+	for _, v := range agg {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}

@@ -170,16 +170,29 @@ func buildField(alpha float64, in *policy.Input) *field {
 	// by the maximum would flatten typical pairs to nothing; the mean
 	// clamps heavy hitters at -1 and keeps ordinary service chatter
 	// strongly attractive.
-	ref := in.Volumes.Mean()
-	f := &field{
-		alpha: alpha,
-		ps:    in.Profiles,
-		vols:  in.Volumes,
-		ref:   ref,
-		peers: make(map[int][]int),
+	return newField(alpha, in.Profiles, in.Volumes, in.Volumes.Mean(), nil)
+}
+
+// NewField adapts one snapshot of correlation state to the embedding's
+// force model (Eq. 5) — the same field the proposed controller embeds with,
+// exported so the streaming daemon's incremental refinement and background
+// reconciliation exert bit-identical forces to the batch global phase. ref
+// is the attraction normalization volume (typically the matrix mean); peers
+// may be nil to derive the data adjacency from the volume matrix, or an
+// incrementally maintained adjacency so construction stays O(1) on a
+// serving hot path.
+func NewField(alpha float64, ps *correlation.ProfileSet, vols *correlation.DataMatrix, ref units.DataSize, peers map[int][]int) embed.Field {
+	return newField(alpha, ps, vols, ref, peers)
+}
+
+func newField(alpha float64, ps *correlation.ProfileSet, vols *correlation.DataMatrix, ref units.DataSize, peers map[int][]int) *field {
+	f := &field{alpha: alpha, ps: ps, vols: vols, ref: ref, peers: peers}
+	if f.peers != nil {
+		return f
 	}
+	f.peers = make(map[int][]int)
 	seen := make(map[[2]int]bool)
-	in.Volumes.Each(func(from, to int, _ units.DataSize) {
+	vols.Each(func(from, to int, _ units.DataSize) {
 		// Volume from->to attracts both endpoints; register each direction
 		// once.
 		if !seen[[2]int{to, from}] {

@@ -152,13 +152,22 @@ type ProfileSet struct {
 	off     []int32     // indexed by id: arena offset, or absentRow/oddRow-k
 	odd     [][]float64 // rows whose length differs from samples (retained)
 	peaks   []float64   // indexed by id; valid only where a row exists
-	ids     []int       // ids registered since the last Reset
+	ids     []int       // ids currently registered
+	idPos   []int32     // indexed by id: position in ids, valid where a row exists
+	// freeStd and freeOdd hold storage released by Remove (arena row
+	// offsets and odd-table slots respectively), reused LIFO by later Adds
+	// so a long-running arrival/departure stream stays allocation-free and
+	// the arena does not grow past the peak population.
+	freeStd []int32
+	freeOdd []int32
 	// ord mirrors the arena at one uint16 per sample: for every built row,
 	// the sample indices sorted by descending utilization — the walk order
 	// of the pruned peak-coincidence kernel. ordVal holds the utilization
 	// at each ord entry, so the kernel's own-profile reads are sequential
 	// instead of gathered. Built on demand by EnsureOrders;
-	// len(ord)/samples rows are valid.
+	// len(ord)/samples rows are valid. Adds that land inside the built
+	// region (overwrites and free-list reuse) re-sort their row inline, so
+	// the orders stay exact across any Add/Remove sequence.
 	ord    []uint16
 	ordVal []float64
 }
@@ -188,6 +197,8 @@ func (ps *ProfileSet) Reset() {
 	ps.odd = ps.odd[:0]
 	ps.ord = ps.ord[:0]
 	ps.ordVal = ps.ordVal[:0]
+	ps.freeStd = ps.freeStd[:0]
+	ps.freeOdd = ps.freeOdd[:0]
 }
 
 // Len returns the number of registered profiles.
@@ -195,7 +206,10 @@ func (ps *ProfileSet) Len() int { return len(ps.ids) }
 
 // Add registers a VM's profile. Rows of the expected sample count are
 // copied into the set's arena; other lengths are retained as-is and must
-// not be mutated afterwards.
+// not be mutated afterwards. Adding an id that already has a profile
+// replaces it (the streaming controller's telemetry-refresh path), reusing
+// the old storage where the lengths allow. Any Add/Remove sequence leaves
+// queries equal to a set built from scratch over the surviving profiles.
 func (ps *ProfileSet) Add(id int, prof []float64) {
 	if id < 0 {
 		return
@@ -203,15 +217,47 @@ func (ps *ProfileSet) Add(id int, prof []float64) {
 	if id >= len(ps.off) {
 		ps.grow(id + 1)
 	}
-	if ps.off[id] == absentRow {
+	prev := ps.off[id]
+	if prev == absentRow {
+		ps.idPos[id] = int32(len(ps.ids))
 		ps.ids = append(ps.ids, id)
 	}
 	if len(prof) == ps.samples {
-		ps.off[id] = int32(len(ps.arena))
-		ps.arena = append(ps.arena, prof...)
+		off := absentRow
+		if prev >= 0 {
+			off = prev // overwrite the existing arena row in place
+		} else {
+			if prev <= oddRow {
+				ps.freeStorage(prev)
+			}
+			if n := len(ps.freeStd); n > 0 {
+				off = ps.freeStd[n-1]
+				ps.freeStd = ps.freeStd[:n-1]
+			}
+		}
+		if off >= 0 {
+			copy(ps.arena[off:int(off)+ps.samples], prof)
+			// The reused row may sit inside the already-built order region;
+			// re-sorting it inline keeps the pruned kernel exact.
+			ps.rebuildOrder(off)
+		} else {
+			off = int32(len(ps.arena))
+			ps.arena = append(ps.arena, prof...)
+		}
+		ps.off[id] = off
 	} else {
-		ps.off[id] = oddRow - int32(len(ps.odd))
-		ps.odd = append(ps.odd, prof)
+		if prev != absentRow {
+			ps.freeStorage(prev)
+		}
+		if n := len(ps.freeOdd); n > 0 {
+			k := ps.freeOdd[n-1]
+			ps.freeOdd = ps.freeOdd[:n-1]
+			ps.odd[k] = prof
+			ps.off[id] = oddRow - k
+		} else {
+			ps.off[id] = oddRow - int32(len(ps.odd))
+			ps.odd = append(ps.odd, prof)
+		}
 	}
 	var peak float64
 	for _, u := range prof {
@@ -220,6 +266,50 @@ func (ps *ProfileSet) Add(id int, prof []float64) {
 		}
 	}
 	ps.peaks[id] = peak
+}
+
+// Remove forgets id's profile, releasing its storage to the free lists for
+// later Adds — the departure amendment of the streaming controller, which
+// adjusts the set per VM arrival/departure instead of rebuilding the world.
+// Removing an absent id is a no-op.
+func (ps *ProfileSet) Remove(id int) {
+	if id < 0 || id >= len(ps.off) || ps.off[id] == absentRow {
+		return
+	}
+	ps.freeStorage(ps.off[id])
+	ps.off[id] = absentRow
+	ps.peaks[id] = 0
+	p := ps.idPos[id]
+	last := ps.ids[len(ps.ids)-1]
+	ps.ids[p] = last
+	ps.idPos[last] = p
+	ps.ids = ps.ids[:len(ps.ids)-1]
+}
+
+// freeStorage returns a row's backing storage to the matching free list.
+// Freed arena rows keep stale floats (and possibly stale orders) until
+// reused, at which point Add overwrites both; no query ever resolves to a
+// freed row because no off entry points at it.
+func (ps *ProfileSet) freeStorage(off int32) {
+	if off >= 0 {
+		ps.freeStd = append(ps.freeStd, off)
+		return
+	}
+	k := oddRow - off
+	ps.odd[k] = nil
+	ps.freeOdd = append(ps.freeOdd, k)
+}
+
+// rebuildOrder re-sorts the descending-utilization order of the arena row
+// at off, if orders have been built that far (otherwise EnsureOrders will
+// cover it from the current arena contents later).
+func (ps *ProfileSet) rebuildOrder(off int32) {
+	s := ps.samples
+	end := int(off) + s
+	if s <= 0 || end > len(ps.ord) {
+		return
+	}
+	sortRowDesc(ps.arena[off:end], ps.ord[off:end], ps.ordVal[off:end])
 }
 
 func (ps *ProfileSet) grow(n int) {
@@ -237,6 +327,9 @@ func (ps *ProfileSet) grow(n int) {
 	peaks := make([]float64, n)
 	copy(peaks, ps.peaks)
 	ps.peaks = peaks
+	idPos := make([]int32, n)
+	copy(idPos, ps.idPos)
+	ps.idPos = idPos
 }
 
 // Has reports whether a profile for id exists.
@@ -306,30 +399,34 @@ func (ps *ProfileSet) EnsureOrders(workers *par.Budget) {
 	const rowGrain = 256
 	par.For(workers, rows-built, rowGrain, func(lo, hi int) {
 		for r := built + lo; r < built+hi; r++ {
-			row := ps.arena[r*s : (r+1)*s]
-			ord := ps.ord[r*s : (r+1)*s]
-			for i := range ord {
-				ord[i] = uint16(i)
-			}
-			// Insertion sort, descending by value; the strict comparison
-			// keeps equal samples in ascending index order (stable), so the
-			// order — and every downstream result — is deterministic.
-			for i := 1; i < s; i++ {
-				t := ord[i]
-				v := row[t]
-				j := i - 1
-				for j >= 0 && row[ord[j]] < v {
-					ord[j+1] = ord[j]
-					j--
-				}
-				ord[j+1] = t
-			}
-			vals := ps.ordVal[r*s : (r+1)*s]
-			for i, t := range ord {
-				vals[i] = row[t]
-			}
+			sortRowDesc(ps.arena[r*s:(r+1)*s], ps.ord[r*s:(r+1)*s], ps.ordVal[r*s:(r+1)*s])
 		}
 	})
+}
+
+// sortRowDesc fills ord with row's sample indices sorted by descending
+// utilization and vals with the utilizations in that order. Insertion sort,
+// descending by value; the strict comparison keeps equal samples in
+// ascending index order (stable), so the order — and every downstream
+// result — is deterministic.
+func sortRowDesc(row []float64, ord []uint16, vals []float64) {
+	s := len(row)
+	for i := range ord {
+		ord[i] = uint16(i)
+	}
+	for i := 1; i < s; i++ {
+		t := ord[i]
+		v := row[t]
+		j := i - 1
+		for j >= 0 && row[ord[j]] < v {
+			ord[j+1] = ord[j]
+			j--
+		}
+		ord[j+1] = t
+	}
+	for i, t := range ord {
+		vals[i] = row[t]
+	}
 }
 
 // orderAt returns the descending-utilization sample order of the arena row
@@ -595,6 +692,71 @@ func (m *DataMatrix) Add(from, to int, vol units.DataSize) {
 	m.pairs++
 	if vol > m.max {
 		m.max = vol
+	}
+}
+
+// RemoveVM deletes every directed pair involving id — the departure
+// amendment of the streaming controller. Surviving cells keep their
+// insertion order, so iteration and every query match a matrix rebuilt from
+// scratch by replaying the surviving adds in their original order. The
+// high-water mark is rescanned only when a removed cell could have held it.
+// Cost is O(total pairs); degree is bounded by the service graph, so that
+// is linear in the fleet with a small constant. Removing an unknown id is a
+// no-op.
+func (m *DataMatrix) RemoveVM(id int) {
+	if id < 0 {
+		return
+	}
+	removed := false
+	var removedMax units.DataSize
+	for fi := 0; fi < len(m.froms); {
+		from := m.froms[fi]
+		row := m.rows[from]
+		w := 0
+		if from == id {
+			// Sender row: drop wholesale.
+			for _, c := range row {
+				if c.vol > removedMax {
+					removedMax = c.vol
+				}
+			}
+			m.pairs -= len(row)
+			removed = removed || len(row) > 0
+		} else {
+			// Receiver scan: order-preserving compaction.
+			for _, c := range row {
+				if c.to == id {
+					if c.vol > removedMax {
+						removedMax = c.vol
+					}
+					m.pairs--
+					removed = true
+					continue
+				}
+				row[w] = c
+				w++
+			}
+		}
+		m.rows[from] = row[:w]
+		if w == 0 {
+			// Emptied rows are dropped from froms so a later re-Add
+			// registers the sender exactly once; froms order is not
+			// observable, so the O(1) swap removal is fine.
+			m.froms[fi] = m.froms[len(m.froms)-1]
+			m.froms = m.froms[:len(m.froms)-1]
+			continue
+		}
+		fi++
+	}
+	if removed && removedMax >= m.max {
+		m.max = 0
+		for _, from := range m.froms {
+			for _, c := range m.rows[from] {
+				if c.vol > m.max {
+					m.max = c.vol
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,101 @@
+package embed
+
+import (
+	"math"
+
+	"geovmp/internal/rng"
+)
+
+// RefineOne is the incremental counterpart of Run for a single arriving
+// point: with the rest of the layout frozen, it iterates Eq. 6 on id alone —
+// exact attraction against id's data-correlated peers, repulsion estimated
+// from SampleK hashed partners per iteration as in the sampled mode — and
+// returns the refined position. Only id's row of the force field is ever
+// evaluated, so the cost is O(iters x (degree + SampleK)) regardless of
+// fleet size: this is what lets a streaming controller seat one arrival
+// without re-running the global embedding (a background reconciler restores
+// the full-fidelity layout periodically).
+//
+// pos supplies the frozen layout and id's seed position (ids absent from
+// pos scatter via InitialPosition); others lists the resident points id may
+// be repelled by, in any caller-deterministic order. The result is a pure
+// function of the arguments.
+func RefineOne(id int, others []int, pos map[int]Point, field Field, cfg Config, iters int) Point {
+	cfg.applyDefaults()
+	p, ok := pos[id]
+	if !ok {
+		p = InitialPosition(id, cfg.InitRadius, cfg.Seed)
+	}
+	n := len(others) + 1
+	if n < 2 || iters <= 0 {
+		return p
+	}
+	peers := field.AttractionPeers(id)
+	rw := cfg.repulsionWeight(n)
+	scale := float64(n-1) / float64(cfg.SampleK) * rw
+	half := 0.5 * cfg.TimeStep * cfg.TimeStep
+	for iter := 0; iter < iters; iter++ {
+		var fxv, fyv float64
+		pull := func(q Point, f float64) {
+			dx := p.X - q.X
+			dy := p.Y - q.Y
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d < 1e-9 {
+				ang := rng.Noise01(cfg.Seed, uint64(id), 0x1F1, uint64(iter)) * 2 * math.Pi
+				dx, dy, d = math.Cos(ang), math.Sin(ang), 1
+			}
+			fxv += f * dx / d
+			fyv += f * dy / d
+		}
+		// Exact attraction over the sparse peer set; repulsive components of
+		// peer forces carry the same class weight the full modes apply.
+		for _, peer := range peers {
+			q, ok := pos[peer]
+			if !ok || peer == id {
+				continue
+			}
+			f := field.Force(id, peer)
+			if f > 0 {
+				f *= rw
+			}
+			pull(q, f)
+		}
+		// Sampled repulsion over the rest of the fleet.
+		for k := 0; k < cfg.SampleK; k++ {
+			j := others[rng.Hash(cfg.Seed, uint64(id), uint64(iter), uint64(k))%uint64(len(others))]
+			if j == id || containsPeer(peers, j) {
+				continue // self, or already handled exactly above
+			}
+			q, ok := pos[j]
+			if !ok {
+				continue
+			}
+			f := field.Force(id, j)
+			if f <= 0 {
+				continue // attraction is exact over peers only
+			}
+			pull(q, f*scale)
+		}
+		// Eq. 6 displacement with the standard clamp and centering gravity.
+		dx := half*fxv - cfg.Gravity*p.X
+		dy := half*fyv - cfg.Gravity*p.Y
+		if m := math.Sqrt(dx*dx + dy*dy); m > cfg.MaxDisplace {
+			s := cfg.MaxDisplace / m
+			dx *= s
+			dy *= s
+		}
+		p.X += dx
+		p.Y += dy
+	}
+	return p
+}
+
+// containsPeer reports membership in a point's (short) attraction-peer list.
+func containsPeer(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

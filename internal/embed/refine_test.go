@@ -1,0 +1,95 @@
+package embed
+
+import (
+	"math"
+	"testing"
+)
+
+// pairField is a scripted Field: forces come from a map, attraction peers
+// from a list.
+type pairField struct {
+	force map[[2]int]float64
+	peers map[int][]int
+}
+
+func (f *pairField) Force(onto, by int) float64   { return f.force[[2]int{onto, by}] }
+func (f *pairField) AttractionPeers(id int) []int { return f.peers[id] }
+
+func TestRefineOneDeterministic(t *testing.T) {
+	f := &pairField{
+		force: map[[2]int]float64{{5, 1}: -0.8, {5, 2}: 0.6, {5, 3}: 0.3},
+		peers: map[int][]int{5: {1}},
+	}
+	pos := map[int]Point{
+		1: {X: 2, Y: 0},
+		2: {X: -1, Y: 1},
+		3: {X: 0, Y: -2},
+		5: {X: 0, Y: 0},
+	}
+	cfg := Config{Seed: 11, MaxDisplace: 1.0, RepulsionScale: 4}
+	a := RefineOne(5, []int{1, 2, 3}, pos, f, cfg, 6)
+	b := RefineOne(5, []int{1, 2, 3}, pos, f, cfg, 6)
+	if a != b {
+		t.Fatalf("not deterministic: %+v vs %+v", a, b)
+	}
+	if a == (Point{X: 0, Y: 0}) {
+		t.Fatal("refinement did not move the point")
+	}
+	// Only id's position is refined; the rest of the layout is frozen.
+	if pos[1] != (Point{X: 2, Y: 0}) || pos[5] != (Point{}) {
+		t.Fatal("RefineOne mutated the layout")
+	}
+}
+
+func TestRefineOneAttractsTowardPeer(t *testing.T) {
+	// One strongly attractive peer, no repulsion: the point must end up
+	// closer to the peer than where it started.
+	f := &pairField{
+		force: map[[2]int]float64{{5, 1}: -1.0},
+		peers: map[int][]int{5: {1}},
+	}
+	pos := map[int]Point{1: {X: 6, Y: 0}, 5: {X: 0, Y: 0}}
+	cfg := Config{Seed: 3, MaxDisplace: 1.0, RepulsionScale: 4}
+	p := RefineOne(5, []int{1}, pos, f, cfg, 8)
+	d0 := Dist(Point{X: 0, Y: 0}, pos[1])
+	if d := Dist(p, pos[1]); d >= d0 {
+		t.Fatalf("attraction failed: dist %v -> %v", d0, d)
+	}
+}
+
+func TestRefineOneRepelsFromCoResident(t *testing.T) {
+	// Pure repulsion from a nearby point: the refined position must gain
+	// distance.
+	f := &pairField{
+		force: map[[2]int]float64{{5, 1}: 1.0},
+		peers: map[int][]int{5: {1}},
+	}
+	pos := map[int]Point{1: {X: 0.3, Y: 0}, 5: {X: 0, Y: 0}}
+	cfg := Config{Seed: 3, MaxDisplace: 1.0, RepulsionScale: 4, Gravity: -1}
+	p := RefineOne(5, []int{1}, pos, f, cfg, 4)
+	if d := Dist(p, pos[1]); d <= 0.3 {
+		t.Fatalf("repulsion failed: dist = %v", d)
+	}
+}
+
+func TestRefineOneEdgeCases(t *testing.T) {
+	f := &pairField{force: map[[2]int]float64{}, peers: map[int][]int{}}
+	pos := map[int]Point{5: {X: 1, Y: 2}}
+	cfg := Config{Seed: 9}
+	// No co-residents: nothing to refine against.
+	if p := RefineOne(5, nil, pos, f, cfg, 4); p != (Point{X: 1, Y: 2}) {
+		t.Fatalf("solo point moved: %+v", p)
+	}
+	// Zero iterations: seed returned untouched.
+	if p := RefineOne(5, []int{1}, pos, f, cfg, 0); p != (Point{X: 1, Y: 2}) {
+		t.Fatalf("0-iteration refinement moved: %+v", p)
+	}
+	// Unknown id scatters deterministically from InitialPosition.
+	want := InitialPosition(77, 10, cfg.Seed)
+	if p := RefineOne(77, nil, map[int]Point{}, f, cfg, 4); p != want {
+		t.Fatalf("scatter mismatch: %+v vs %+v", p, want)
+	}
+	if math.IsNaN(want.X) {
+		t.Fatal("scatter produced NaN")
+	}
+}

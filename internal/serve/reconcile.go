@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"geovmp/internal/core"
+	"geovmp/internal/correlation"
+	"geovmp/internal/embed"
+	"geovmp/internal/par"
+	"geovmp/internal/units"
+)
+
+// The reconciler restores full-fidelity geometry: per-arrival refinement
+// seats each VM well against a frozen layout, but only a global embedding
+// re-balances everyone at once. Every ReconcileEvery sequenced operations
+// the daemon snapshots the correlation state under the lock, re-runs the
+// batch global embedding in the background, and atomically swaps the result
+// in at a *fixed landing point* in the operation sequence (trigger +
+// ReconcileLag): decisions between trigger and landing use the old layout,
+// decisions after use the new one, at any parallelism and any background
+// duration. If the embedding is still running when the landing operation
+// arrives, that operation waits for it — the SLO bound holds for the steady
+// state, not the (rare, ~per-512-ops) landing turn.
+
+// reconcileJob is one in-flight background re-embedding.
+type reconcileJob struct {
+	landSeq uint64
+	ch      chan map[int]embed.Point
+}
+
+// maybeTrigger launches a background reconciliation when the operation
+// sequence crosses a ReconcileEvery boundary. Caller holds d.mu; the
+// trigger condition depends only on seq and whether a job is pending —
+// both pure functions of the sequence — so triggering is deterministic.
+func (d *Daemon) maybeTrigger(seq uint64) {
+	every := d.opt.ReconcileEvery
+	if every == 0 || d.recon != nil || seq == 0 || seq%uint64(every) != 0 {
+		return
+	}
+	if len(d.st.active) < 2 {
+		return
+	}
+	snap := d.st.snapshot()
+	job := &reconcileJob{
+		landSeq: seq + uint64(d.opt.ReconcileLag),
+		ch:      make(chan map[int]embed.Point, 1),
+	}
+	d.recon = job
+	opt := &d.opt
+	go func() { job.ch <- snap.run(opt) }()
+}
+
+// landDue swaps in a finished reconciliation at the first operation whose
+// sequence number reaches the landing point. Caller holds d.mu.
+func (d *Daemon) landDue(seq uint64) {
+	if d.recon == nil || seq < d.recon.landSeq {
+		return
+	}
+	pos := <-d.recon.ch
+	d.recon = nil
+	d.st.adoptPositions(pos)
+	d.mReconciles.Inc()
+}
+
+// reconSnap is an isolated copy of everything the global embedding reads,
+// taken under the write lock so the background run shares nothing with the
+// live state.
+type reconSnap struct {
+	ids  []int
+	init map[int]embed.Point
+	ps   *correlation.ProfileSet
+	dm   *correlation.DataMatrix
+	ref  units.DataSize
+}
+
+func (s *state) snapshot() *reconSnap {
+	ids := append([]int(nil), s.active...)
+	sortInts(ids)
+	ps := correlation.NewProfileSet(s.opt.Samples)
+	for _, id := range ids {
+		ps.Add(id, s.ps.Profile(id)) // standard-length rows are copied
+	}
+	dm := correlation.NewDataMatrix()
+	s.dm.Each(dm.Add)
+	init := make(map[int]embed.Point, len(ids))
+	for _, id := range ids {
+		init[id] = s.pos[id]
+	}
+	return &reconSnap{ids: ids, init: init, ps: ps, dm: dm, ref: s.ref}
+}
+
+// run executes the batch global embedding over the snapshot — the same
+// field and tuning the batch controller uses, warm-started from the live
+// layout.
+func (r *reconSnap) run(opt *Options) map[int]embed.Point {
+	var budget *par.Budget
+	if opt.Workers > 1 {
+		budget = par.NewBudget(opt.Workers - 1)
+	}
+	r.ps.EnsureOrders(budget)
+	f := core.NewField(opt.Alpha, r.ps, r.dm, r.ref, nil)
+	cfg := embed.Config{
+		Seed:           opt.Seed,
+		MaxIters:       opt.ReconcileIters,
+		MaxDisplace:    1.0,
+		RepulsionScale: 4,
+		Workers:        budget,
+	}
+	return embed.Run(r.ids, r.init, f, cfg).Pos
+}
+
+// adoptPositions merges a reconciled layout: VMs still resident take their
+// refreshed positions (arrivals since the snapshot keep their refined
+// seats), and the per-DC centroid accumulators are rebuilt in active order
+// so the sums stay bit-deterministic.
+func (s *state) adoptPositions(pos map[int]embed.Point) {
+	for id, p := range pos {
+		if _, ok := s.actPos[id]; ok {
+			s.pos[id] = p
+		}
+	}
+	for i := range s.posSum {
+		s.posSum[i] = embed.Point{}
+		s.resCount[i] = 0
+	}
+	for _, id := range s.active {
+		p := s.pos[id]
+		dcI := s.dcOf[id]
+		s.posSum[dcI].X += p.X
+		s.posSum[dcI].Y += p.Y
+		s.resCount[dcI]++
+	}
+	s.gen++
+}

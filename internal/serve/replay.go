@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
+)
+
+// EventKind discriminates replayed operations.
+type EventKind int
+
+// Replayable operation kinds.
+const (
+	EvPlace EventKind = iota
+	EvDepart
+	EvObserve
+)
+
+// Event is one entry of a replayable operation log.
+type Event struct {
+	Kind EventKind
+	VM   VM          // EvPlace
+	ID   int         // EvDepart
+	Obs  Observation // EvObserve
+}
+
+// Replay feeds an operation log through the daemon with the given worker
+// parallelism. The log's order *is* the admission sequence: a contiguous
+// block of sequence numbers is reserved up front and event k commits at
+// block+k, so workers overlap only the optimistic prepare phase and the
+// decision stream is identical at any worker count. Returned decisions are
+// indexed like events (zero-valued for non-place events and failures).
+func (d *Daemon) Replay(events []Event, workers int) []Decision {
+	if len(events) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(events) {
+		workers = len(events)
+	}
+	base := d.reserve(len(events))
+	decs := make([]Decision, len(events))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(events) {
+					return
+				}
+				seq := base + uint64(k)
+				ev := &events[k]
+				switch ev.Kind {
+				case EvPlace:
+					if dec, err := d.placeAt(seq, ev.VM); err == nil {
+						decs[k] = dec
+					}
+				case EvDepart:
+					d.departAt(seq, ev.ID)
+				case EvObserve:
+					d.observeAt(seq, ev.Obs)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return decs
+}
+
+// EventsFromTrace compiles a workload trace into the daemon's event log,
+// mirroring what the batch simulator's per-slot loop observes: for each
+// slot, one observation carrying the previous interval's profiles and
+// planned volumes for the slot's active set (slot 0 bootstraps from
+// itself), then the slot's departures, then its arrivals — all ascending,
+// so the log is deterministic.
+func EventsFromTrace(src trace.Source, slots timeutil.Slot, samples int) []Event {
+	arrivals, departures := trace.Diffs(src, slots)
+	var events []Event
+	for sl := timeutil.Slot(0); sl < timeutil.Slot(len(arrivals)); sl++ {
+		obsSlot := sl
+		if sl > 0 {
+			obsSlot = sl - 1
+		}
+		ids := src.ActiveVMs(sl)
+		obs := Observation{Slot: sl, VMs: make([]VMProfile, 0, len(ids))}
+		for _, id := range ids {
+			obs.VMs = append(obs.VMs, VMProfile{ID: id, Profile: src.SlotProfile(id, obsSlot, samples)})
+		}
+		for _, e := range src.PlannedVolumes(obsSlot, sl) {
+			obs.Volumes = append(obs.Volumes, VolumeObs{From: e.From, To: e.To, Vol: e.Vol})
+		}
+		events = append(events, Event{Kind: EvObserve, Obs: obs})
+		for _, id := range departures[sl] {
+			events = append(events, Event{Kind: EvDepart, ID: id})
+		}
+		for _, id := range arrivals[sl] {
+			events = append(events, Event{Kind: EvPlace, VM: VM{
+				ID:      id,
+				Profile: src.SlotProfile(id, obsSlot, samples),
+				Image:   src.Image(id),
+			}})
+		}
+	}
+	return events
+}

@@ -1,0 +1,457 @@
+// Package serve turns the batch placement engine into a long-running
+// controller: VMs arrive and depart as a stream, and every arrival is
+// answered with a (dc, server) decision within a configurable latency SLO.
+//
+// The daemon keeps the paper's correlation state *incrementally*: arrivals
+// and departures amend the ProfileSet/DataMatrix in place (O(profile +
+// degree) per event), the arriving VM's embedding position is refined
+// locally against the frozen layout (internal/embed.RefineOne), and a
+// background reconciler periodically re-runs the full global embedding and
+// atomically swaps the refreshed layout in — so the hot path never
+// recompiles the world.
+//
+// Each decision runs three phases, in the scheduler-framework shape:
+//
+//   - fit: bounded combined-peak probe over each DC's incremental packer
+//     (internal/alloc.Tracker) — the capacity/constraint gate;
+//   - score: correlation against the candidate server's residents (the
+//     pruned peak-coincidence kernel's math), cross-DC traffic to the VM's
+//     data peers, embedding locality, and an energy term from tariffs and
+//     fleet load, blended by the paper's alpha;
+//   - reserve: an optimistic two-phase commit — fit and score run against a
+//     read-locked snapshot, and the commit step re-validates the state
+//     generation at the decision's turn in the admission sequence,
+//     re-scoring if a concurrent admission moved the world first.
+//
+// Commits are totally ordered by arrival sequence number, so the decision
+// stream is a pure function of the event log: the same log replayed at any
+// Parallelism yields bit-identical placements (the determinism test holds
+// the daemon to that).
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geovmp/internal/dc"
+	"geovmp/internal/metrics"
+	"geovmp/internal/network"
+	"geovmp/internal/sim"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// VM is one arrival: the VM's identity, its last-interval utilization
+// profile (resampled to Options.Samples when the length differs), its
+// declared steady traffic with already-placed peers, and its migration
+// image size.
+type VM struct {
+	ID      int
+	Profile []float64
+	Flows   []Flow
+	Image   units.DataSize
+}
+
+// Flow declares steady directed traffic between an arriving VM and a peer.
+type Flow struct {
+	Peer     int
+	ToPeer   units.DataSize // volume per slot the VM sends to the peer
+	FromPeer units.DataSize // volume per slot the peer sends to the VM
+}
+
+// Observation is the periodic telemetry refresh a live controller receives
+// each slot: current per-VM utilization profiles and the realized inter-VM
+// volume matrix. It replaces the declared-flow picture wholesale, exactly
+// as the batch simulator feeds its per-slot controllers.
+type Observation struct {
+	Slot    timeutil.Slot
+	VMs     []VMProfile
+	Volumes []VolumeObs
+}
+
+// VMProfile is one VM's observed utilization profile.
+type VMProfile struct {
+	ID      int
+	Profile []float64
+}
+
+// VolumeObs is one observed directed inter-VM volume.
+type VolumeObs struct {
+	From, To int
+	Vol      units.DataSize
+}
+
+// Decision is the daemon's answer to one arrival.
+type Decision struct {
+	ID         int
+	DC         int
+	Server     int
+	Overflowed bool          // placed past nominal capacity
+	Seq        uint64        // position in the admission sequence
+	Latency    time.Duration // submit-to-commit decision latency
+}
+
+// Options configures a Daemon. Fleet and Topo are required; everything else
+// defaults sensibly.
+type Options struct {
+	Fleet dc.Fleet
+	Topo  *network.Topology
+	// Samples is the per-slot profile length (default 12, the simulator's).
+	Samples int
+	// Alpha is the paper's energy/performance blend (default 0.9).
+	Alpha float64
+	// EnergyWeight scales the tariff/load score term (default 0.25).
+	EnergyWeight float64
+	// SLO is the decision latency objective, reported at /healthz and in
+	// benchmarks (default 20ms). It does not gate decisions.
+	SLO time.Duration
+	// QueueCap bounds concurrently admitted requests on the HTTP path;
+	// excess requests are refused with 429 + Retry-After (default 256).
+	QueueCap int
+	// ProbeLimit bounds the per-DC first-fit server probe (default 16).
+	ProbeLimit int
+	// RefineIters is the per-arrival local embedding refinement budget
+	// (default 4; 0 seats arrivals at their seed position).
+	RefineIters int
+	// ReconcileEvery launches a background full re-embedding every that
+	// many sequenced operations (default 512; <0 disables). The result
+	// lands atomically ReconcileLag operations later (default 64) — a
+	// fixed landing point in the sequence, so reconciliation cannot
+	// perturb determinism.
+	ReconcileEvery int
+	ReconcileLag   int
+	// ReconcileIters caps the reconciler's embedding iterations (default 12).
+	ReconcileIters int
+	// Workers are goroutines lent to the background reconciler's sharded
+	// passes (default 1; decisions themselves are never sharded).
+	Workers int
+	// Seed keys every deterministic scatter and sampling choice.
+	Seed uint64
+	// Board receives operational metrics (a fresh board when nil).
+	Board *metrics.Board
+}
+
+func (o *Options) applyDefaults() {
+	if o.Samples <= 0 {
+		o.Samples = sim.DefaultProfileSamples
+	}
+	if o.Alpha < 0 || o.Alpha > 1 || o.Alpha == 0 {
+		o.Alpha = 0.9
+	}
+	if o.EnergyWeight == 0 {
+		o.EnergyWeight = 0.25
+	} else if o.EnergyWeight < 0 {
+		o.EnergyWeight = 0
+	}
+	if o.SLO <= 0 {
+		o.SLO = 20 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.RefineIters < 0 {
+		o.RefineIters = 0
+	} else if o.RefineIters == 0 {
+		o.RefineIters = 4
+	}
+	switch {
+	case o.ReconcileEvery == 0:
+		o.ReconcileEvery = 512
+	case o.ReconcileEvery < 0:
+		o.ReconcileEvery = 0
+	}
+	if o.ReconcileLag <= 0 {
+		o.ReconcileLag = 64
+	}
+	if o.ReconcileIters <= 0 {
+		o.ReconcileIters = 12
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Board == nil {
+		o.Board = metrics.NewBoard()
+	}
+}
+
+// Daemon errors.
+var (
+	ErrDraining      = errors.New("serve: daemon is draining")
+	ErrQueueFull     = errors.New("serve: admission queue full")
+	ErrAlreadyPlaced = errors.New("serve: vm already placed")
+)
+
+// Daemon is the online placement service. Create with New, feed with
+// Place/Depart/Observe (or Replay), stop with Drain.
+type Daemon struct {
+	opt Options
+
+	mu sync.RWMutex // guards st
+	st *state
+
+	seqMu sync.Mutex
+	cond  *sync.Cond
+	next  uint64 // next sequence number to hand out
+	done  uint64 // sequence numbers below this have committed
+
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	recon *reconcileJob // pending background re-embedding; guarded by mu
+
+	mPlacements, mDepartures, mOverflows *metrics.Counter
+	mObservations, mReconciles           *metrics.Counter
+	mRejections                          *metrics.Counter
+	mQueue                               *metrics.Gauge
+	mLat                                 *metrics.LatencyHist
+}
+
+// New validates opt and returns a ready daemon.
+func New(opt Options) (*Daemon, error) {
+	if len(opt.Fleet) == 0 {
+		return nil, errors.New("serve: empty fleet")
+	}
+	if opt.Topo == nil {
+		return nil, errors.New("serve: nil topology")
+	}
+	opt.applyDefaults()
+	d := &Daemon{opt: opt}
+	d.st = newState(&d.opt)
+	d.cond = sync.NewCond(&d.seqMu)
+	b := opt.Board
+	d.mPlacements = b.Counter("serve_placements_total")
+	d.mDepartures = b.Counter("serve_departures_total")
+	d.mOverflows = b.Counter("serve_overflows_total")
+	d.mObservations = b.Counter("serve_observations_total")
+	d.mReconciles = b.Counter("serve_reconciles_total")
+	d.mRejections = b.Counter("serve_rejections_total")
+	d.mQueue = b.Gauge("serve_queue_depth")
+	d.mLat = b.Hist("serve_decision_latency")
+	return d, nil
+}
+
+// Options returns the daemon's resolved configuration.
+func (d *Daemon) Options() Options { return d.opt }
+
+// Board returns the daemon's metrics board.
+func (d *Daemon) Board() *metrics.Board { return d.opt.Board }
+
+// --- admission sequencing ---
+
+// take hands out the next sequence number; commit order follows it.
+func (d *Daemon) take() uint64 {
+	d.seqMu.Lock()
+	s := d.next
+	d.next++
+	d.seqMu.Unlock()
+	return s
+}
+
+// reserve hands out n consecutive sequence numbers (Replay's block grant).
+func (d *Daemon) reserve(n int) uint64 {
+	d.seqMu.Lock()
+	s := d.next
+	d.next += uint64(n)
+	d.seqMu.Unlock()
+	return s
+}
+
+func (d *Daemon) waitTurn(seq uint64) {
+	d.seqMu.Lock()
+	for d.done != seq {
+		d.cond.Wait()
+	}
+	d.seqMu.Unlock()
+}
+
+func (d *Daemon) finishTurn(seq uint64) {
+	d.seqMu.Lock()
+	d.done = seq + 1
+	d.cond.Broadcast()
+	d.seqMu.Unlock()
+}
+
+// admit implements the bounded admission queue: one slot per in-flight
+// request, refused when full.
+func (d *Daemon) admit() bool {
+	for {
+		n := d.inflight.Load()
+		if n >= int64(d.opt.QueueCap) {
+			d.mRejections.Inc()
+			return false
+		}
+		if d.inflight.CompareAndSwap(n, n+1) {
+			d.mQueue.Set(n + 1)
+			return true
+		}
+	}
+}
+
+func (d *Daemon) release() {
+	d.mQueue.Set(d.inflight.Add(-1))
+}
+
+// --- public operations ---
+
+// Place admits one arrival and returns its placement. It blocks until the
+// decision's turn in the admission sequence commits. ErrQueueFull means the
+// bounded queue is saturated — back off and retry; ErrDraining means the
+// daemon no longer admits work.
+func (d *Daemon) Place(vm VM) (Decision, error) {
+	if d.draining.Load() {
+		return Decision{}, ErrDraining
+	}
+	if !d.admit() {
+		return Decision{}, ErrQueueFull
+	}
+	defer d.release()
+	return d.placeAt(d.take(), vm)
+}
+
+// Depart removes a VM from the fleet, reporting whether it was resident.
+func (d *Daemon) Depart(id int) (bool, error) {
+	if d.draining.Load() {
+		return false, ErrDraining
+	}
+	if !d.admit() {
+		return false, ErrQueueFull
+	}
+	defer d.release()
+	return d.departAt(d.take(), id), nil
+}
+
+// Observe applies one telemetry refresh (profiles, volumes, slot clock).
+func (d *Daemon) Observe(o Observation) error {
+	if d.draining.Load() {
+		return ErrDraining
+	}
+	d.observeAt(d.take(), o)
+	return nil
+}
+
+// Drain stops admitting new operations and blocks until every in-flight
+// operation has committed. Safe to call more than once.
+func (d *Daemon) Drain() {
+	d.draining.Store(true)
+	d.seqMu.Lock()
+	for d.done != d.next {
+		d.cond.Wait()
+	}
+	d.seqMu.Unlock()
+}
+
+// --- sequenced internals ---
+
+func (d *Daemon) placeAt(seq uint64, vm VM) (Decision, error) {
+	start := time.Now()
+	// Phase 1 (optimistic): fit + score against a read-locked snapshot.
+	d.mu.RLock()
+	gen := d.st.gen
+	cand, err := d.st.prepare(&vm)
+	d.mu.RUnlock()
+
+	// Phase 2 (reserve): at this decision's turn, land any due
+	// reconciliation, re-validate the snapshot generation, and commit.
+	d.waitTurn(seq)
+	d.mu.Lock()
+	d.landDue(seq)
+	if d.st.gen != gen {
+		// A concurrent admission (or a landed reconcile) moved the world:
+		// re-run fit+score at the turn so the decision equals what serial
+		// processing in sequence order would have produced.
+		cand, err = d.st.prepare(&vm)
+	}
+	var dec Decision
+	if err == nil {
+		dec = d.st.commit(&vm, cand)
+		dec.Seq = seq
+	}
+	d.maybeTrigger(seq)
+	d.mu.Unlock()
+	d.finishTurn(seq)
+
+	if err != nil {
+		return Decision{}, err
+	}
+	dec.Latency = time.Since(start)
+	d.mPlacements.Inc()
+	if dec.Overflowed {
+		d.mOverflows.Inc()
+	}
+	d.mLat.Observe(dec.Latency)
+	return dec, nil
+}
+
+func (d *Daemon) departAt(seq uint64, id int) bool {
+	d.waitTurn(seq)
+	d.mu.Lock()
+	d.landDue(seq)
+	ok := d.st.depart(id)
+	d.maybeTrigger(seq)
+	d.mu.Unlock()
+	d.finishTurn(seq)
+	if ok {
+		d.mDepartures.Inc()
+	}
+	return ok
+}
+
+func (d *Daemon) observeAt(seq uint64, o Observation) {
+	d.waitTurn(seq)
+	d.mu.Lock()
+	d.landDue(seq)
+	d.st.observe(&o)
+	d.maybeTrigger(seq)
+	d.mu.Unlock()
+	d.finishTurn(seq)
+	d.mObservations.Inc()
+}
+
+// --- read-only accessors ---
+
+// Resident reports whether id is currently placed.
+func (d *Daemon) Resident(id int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.st.dcOf[id]
+	return ok
+}
+
+// DCOf returns id's DC, or -1 when not resident.
+func (d *Daemon) DCOf(id int) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if dcI, ok := d.st.dcOf[id]; ok {
+		return dcI
+	}
+	return -1
+}
+
+// ServerOf returns id's (dc, server), or (-1, -1) when not resident.
+func (d *Daemon) ServerOf(id int) (int, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	dcI, ok := d.st.dcOf[id]
+	if !ok {
+		return -1, -1
+	}
+	return dcI, d.st.srvOf[id]
+}
+
+// Residents returns the resident ids, ascending.
+func (d *Daemon) Residents() []int {
+	d.mu.RLock()
+	ids := append([]int(nil), d.st.active...)
+	d.mu.RUnlock()
+	sortInts(ids)
+	return ids
+}
+
+// NumResidents returns the resident VM count.
+func (d *Daemon) NumResidents() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.st.active)
+}

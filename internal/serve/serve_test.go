@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"geovmp/internal/config"
+	"geovmp/internal/sim"
+	"geovmp/internal/timeutil"
+)
+
+func testScenario(t *testing.T, scale float64) *sim.Scenario {
+	t.Helper()
+	spec, err := config.Preset("geo5dc-dynamic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = scale
+	sc, err := config.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func testDaemon(t *testing.T, mod func(*Options)) *Daemon {
+	t.Helper()
+	sc := testScenario(t, 0.01)
+	opt := Options{Fleet: sc.Fleet, Topo: sc.Topo, Seed: 7}
+	if mod != nil {
+		mod(&opt)
+	}
+	d, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testProfile(v float64) []float64 {
+	p := make([]float64, sim.DefaultProfileSamples)
+	for i := range p {
+		p[i] = v
+	}
+	return p
+}
+
+func TestPlaceDepartLifecycle(t *testing.T) {
+	d := testDaemon(t, nil)
+	dec, err := d.Place(VM{ID: 1, Profile: testProfile(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ID != 1 || dec.DC < 0 || dec.DC >= len(d.opt.Fleet) || dec.Server < 0 {
+		t.Fatalf("bad decision: %+v", dec)
+	}
+	if dec.Overflowed {
+		t.Fatalf("first VM overflowed: %+v", dec)
+	}
+	if !d.Resident(1) || d.DCOf(1) != dec.DC {
+		t.Fatalf("residency not recorded: dc=%d", d.DCOf(1))
+	}
+	if dcI, srv := d.ServerOf(1); dcI != dec.DC || srv != dec.Server {
+		t.Fatalf("ServerOf = (%d,%d), want (%d,%d)", dcI, srv, dec.DC, dec.Server)
+	}
+
+	if _, err := d.Place(VM{ID: 1, Profile: testProfile(0.4)}); err != ErrAlreadyPlaced {
+		t.Fatalf("duplicate place: err = %v, want ErrAlreadyPlaced", err)
+	}
+
+	// A second VM declaring traffic with the first should follow it: every
+	// score term except cross-traffic is DC-symmetric this early, so the
+	// shared-DC candidate wins.
+	dec2, err := d.Place(VM{ID: 2, Profile: testProfile(0.3), Flows: []Flow{{Peer: 1, ToPeer: 500, FromPeer: 250}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.DC != dec.DC {
+		t.Fatalf("correlated VM placed at DC %d, its peer at %d", dec2.DC, dec.DC)
+	}
+
+	ok, err := d.Depart(1)
+	if err != nil || !ok {
+		t.Fatalf("depart: ok=%v err=%v", ok, err)
+	}
+	if ok, _ := d.Depart(1); ok {
+		t.Fatal("double depart reported removal")
+	}
+	if d.Resident(1) || d.DCOf(1) != -1 {
+		t.Fatal("departed VM still resident")
+	}
+	if n := d.NumResidents(); n != 1 {
+		t.Fatalf("NumResidents = %d, want 1", n)
+	}
+
+	snap := d.Board().Snapshot()
+	if snap.Counters["serve_placements_total"] != 2 || snap.Counters["serve_departures_total"] != 1 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if snap.Hists["serve_decision_latency"].Count != 2 {
+		t.Fatalf("latency count: %+v", snap.Hists)
+	}
+}
+
+func TestObserveRefreshesState(t *testing.T) {
+	d := testDaemon(t, nil)
+	if _, err := d.Place(VM{ID: 3, Profile: testProfile(0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Observe(Observation{
+		Slot:    1,
+		VMs:     []VMProfile{{ID: 3, Profile: testProfile(0.8)}},
+		Volumes: []VolumeObs{{From: 3, To: 9, Vol: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.mu.RLock()
+	peak := d.st.ps.Peak(3)
+	ref := d.st.ref
+	slot := d.st.slot
+	d.mu.RUnlock()
+	if peak != 0.8 {
+		t.Fatalf("observed profile not applied: peak=%v", peak)
+	}
+	if ref != 100 || slot != 1 {
+		t.Fatalf("volume/slot refresh: ref=%v slot=%d", ref, slot)
+	}
+}
+
+func TestOverflowSpillsDeterministically(t *testing.T) {
+	d := testDaemon(t, nil)
+	total := 0
+	for _, dcI := range d.opt.Fleet {
+		total += dcI.Servers
+	}
+	// Each near-capacity VM takes a whole server; once every server in the
+	// fleet is taken, further arrivals must still be placed, flagged
+	// overflowed.
+	cap0 := d.opt.Fleet[0].Model.MaxCapacity()
+	prof := testProfile(0.9 * cap0)
+	overflowed := 0
+	for id := 0; id < total+3; id++ {
+		dec, err := d.Place(VM{ID: id, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Overflowed {
+			overflowed++
+		}
+	}
+	if overflowed != 3 {
+		t.Fatalf("overflowed = %d, want 3 (fleet of %d servers)", overflowed, total)
+	}
+	if got := d.Board().Counter("serve_overflows_total").Value(); got != 3 {
+		t.Fatalf("overflow counter = %d", got)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	d := testDaemon(t, func(o *Options) { o.QueueCap = 1 })
+	if !d.admit() {
+		t.Fatal("empty queue refused admission")
+	}
+	if _, err := d.Place(VM{ID: 1, Profile: testProfile(0.4)}); err != ErrQueueFull {
+		t.Fatalf("saturated queue: err = %v, want ErrQueueFull", err)
+	}
+	d.release()
+	if _, err := d.Place(VM{ID: 1, Profile: testProfile(0.4)}); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if got := d.Board().Counter("serve_rejections_total").Value(); got != 1 {
+		t.Fatalf("rejections = %d", got)
+	}
+}
+
+func TestDrainStopsAdmission(t *testing.T) {
+	d := testDaemon(t, nil)
+	if _, err := d.Place(VM{ID: 1, Profile: testProfile(0.4)}); err != nil {
+		t.Fatal(err)
+	}
+	d.Drain()
+	if _, err := d.Place(VM{ID: 2, Profile: testProfile(0.4)}); err != ErrDraining {
+		t.Fatalf("place after drain: %v", err)
+	}
+	if _, err := d.Depart(1); err != ErrDraining {
+		t.Fatalf("depart after drain: %v", err)
+	}
+	if err := d.Observe(Observation{Slot: 1}); err != ErrDraining {
+		t.Fatalf("observe after drain: %v", err)
+	}
+	d.Drain() // idempotent
+}
+
+// decisionKey strips the non-semantic fields (latency) for comparison.
+type decisionKey struct {
+	ID, DC, Server int
+	Overflowed     bool
+	Seq            uint64
+}
+
+// TestReplayDeterministic is the deterministic-admission property: the same
+// arrival log replayed at parallelism 1, 2 and GOMAXPROCS+6 must produce
+// identical decisions, with the reconciler deliberately tuned hot enough to
+// land several times mid-log.
+func TestReplayDeterministic(t *testing.T) {
+	sc := testScenario(t, 0.02)
+	events := EventsFromTrace(sc.Workload, 24, sim.DefaultProfileSamples)
+	if len(events) < 100 {
+		t.Fatalf("log too small to be interesting: %d events", len(events))
+	}
+	var ref []decisionKey
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0) + 6} {
+		d, err := New(Options{
+			Fleet: sc.Fleet, Topo: sc.Topo, Seed: 7,
+			ReconcileEvery: 64, ReconcileLag: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decs := d.Replay(events, workers)
+		d.Drain()
+		keys := make([]decisionKey, len(decs))
+		placed := 0
+		for k, dec := range decs {
+			keys[k] = decisionKey{ID: dec.ID, DC: dec.DC, Server: dec.Server, Overflowed: dec.Overflowed, Seq: dec.Seq}
+			if events[k].Kind == EvPlace && dec.ID == events[k].VM.ID {
+				placed++
+			}
+		}
+		if placed == 0 {
+			t.Fatalf("workers=%d: no placements recorded", workers)
+		}
+		if d.Board().Counter("serve_reconciles_total").Value() == 0 {
+			t.Fatalf("workers=%d: reconciler never landed; test is not exercising it", workers)
+		}
+		if ref == nil {
+			ref = keys
+			continue
+		}
+		for k := range keys {
+			if keys[k] != ref[k] {
+				t.Fatalf("workers=%d: decision %d diverged: %+v vs %+v", workers, k, keys[k], ref[k])
+			}
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPAPI(t *testing.T) {
+	d := testDaemon(t, nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/v1/place", placeRequest{ID: 1, Profile: testProfile(0.4)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("place: status %d", resp.StatusCode)
+	}
+	var pr placeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pr.ID != 1 || pr.DC < 0 {
+		t.Fatalf("place response: %+v", pr)
+	}
+
+	if resp := postJSON(t, srv.URL+"/v1/place", placeRequest{ID: 1, Profile: testProfile(0.4)}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate place: status %d", resp.StatusCode)
+	}
+	if resp, _ := http.Post(srv.URL+"/v1/place", "application/json", strings.NewReader("{")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/place", placeRequest{ID: 5}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty profile: status %d", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/observe", observeRequest{
+		Slot: 1,
+		VMs:  []vmProfileJSON{{ID: 1, Profile: testProfile(0.6)}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: status %d", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/depart", departRequest{ID: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("depart: status %d", resp.StatusCode)
+	}
+	var dr departResponse
+	json.NewDecoder(resp.Body).Decode(&dr)
+	resp.Body.Close()
+	if !dr.Removed {
+		t.Fatalf("depart response: %+v", dr)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v %v", err, mresp)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(buf.String(), "serve_placements_total 1") {
+		t.Fatalf("metrics exposition missing counters:\n%s", buf.String())
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v", err)
+	}
+	var h healthResponse
+	json.NewDecoder(hresp.Body).Decode(&h)
+	hresp.Body.Close()
+	if h.Status != "ok" || h.SLOMS <= 0 {
+		t.Fatalf("healthz: %+v", h)
+	}
+}
+
+func TestHTTPBackpressureAndDrain(t *testing.T) {
+	d := testDaemon(t, func(o *Options) { o.QueueCap = 1 })
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	if !d.admit() {
+		t.Fatal("admission failed")
+	}
+	resp := postJSON(t, srv.URL+"/v1/place", placeRequest{ID: 1, Profile: testProfile(0.4)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated place: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	d.release()
+
+	if resp := postJSON(t, srv.URL+"/v1/drain", struct{}{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/place", placeRequest{ID: 2, Profile: testProfile(0.4)}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("place after drain: status %d", resp.StatusCode)
+	}
+	hresp, _ := http.Get(srv.URL + "/healthz")
+	var h healthResponse
+	json.NewDecoder(hresp.Body).Decode(&h)
+	hresp.Body.Close()
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("healthz after drain: %+v", h)
+	}
+}
+
+// TestSimPolicyMatchesEngine drives the daemon through the batch simulator:
+// the adapter must produce a complete, accountable placement every slot.
+func TestSimPolicyMatchesEngine(t *testing.T) {
+	sc := testScenario(t, 0.01)
+	sc.Horizon = timeutil.Days(1)
+	d, err := New(Options{Fleet: sc.Fleet, Topo: sc.Topo, Seed: sc.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sc, NewSimPolicy(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpCost <= 0 || res.TotalEnergy <= 0 {
+		t.Fatalf("degenerate result: cost=%v energy=%v", res.OpCost, res.TotalEnergy)
+	}
+	if d.Board().Counter("serve_placements_total").Value() == 0 {
+		t.Fatal("daemon never placed anything")
+	}
+}

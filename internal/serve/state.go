@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"sort"
+
+	"geovmp/internal/alloc"
+	"geovmp/internal/core"
+	"geovmp/internal/correlation"
+	"geovmp/internal/embed"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// state is the daemon's world: the incremental correlation state (profile
+// set, volume matrix, data adjacency), the embedding layout, and per-DC
+// residency and packing. Every mutation bumps gen, which the optimistic
+// decision path uses to detect that its read snapshot went stale.
+type state struct {
+	opt  *Options
+	gen  uint64
+	slot timeutil.Slot
+
+	// Correlation state, amended per arrival/departure/observation. ref is
+	// the attraction normalization volume (the matrix mean), cached so the
+	// per-arrival force field costs O(1) to assemble.
+	ps    *correlation.ProfileSet
+	dm    *correlation.DataMatrix
+	ref   units.DataSize
+	peers map[int][]int // data adjacency, both directions, dedup
+
+	// Embedding layout and per-DC centroid accumulators (posSum/resCount),
+	// maintained incrementally so the locality score never scans the fleet.
+	pos      map[int]embed.Point
+	posSum   []embed.Point
+	resCount []int
+
+	// Residency: VM -> (dc, server), per-DC incremental packers, and the
+	// active list in commit order (swap-removal keeps it deterministic).
+	dcOf   map[int]int
+	srvOf  map[int]int
+	packs  []*alloc.Tracker
+	active []int
+	actPos map[int]int // id -> index in active
+
+	// Per-slot tariff snapshot for the energy score term.
+	prices   []units.Price
+	maxPrice units.Price
+	propNorm float64 // max pairwise propagation delay, for cross-DC weights
+}
+
+func newState(opt *Options) *state {
+	n := len(opt.Fleet)
+	s := &state{
+		opt:      opt,
+		ps:       correlation.NewProfileSet(opt.Samples),
+		dm:       correlation.NewDataMatrix(),
+		peers:    make(map[int][]int),
+		pos:      make(map[int]embed.Point),
+		posSum:   make([]embed.Point, n),
+		resCount: make([]int, n),
+		dcOf:     make(map[int]int),
+		srvOf:    make(map[int]int),
+		packs:    make([]*alloc.Tracker, n),
+		actPos:   make(map[int]int),
+		prices:   make([]units.Price, n),
+	}
+	for i, d := range opt.Fleet {
+		s.packs[i] = alloc.NewTracker(d.Model, d.Servers, opt.Samples, opt.ProbeLimit)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if p := opt.Topo.PropagationDelay(i, j); p > s.propNorm {
+				s.propNorm = p
+			}
+		}
+	}
+	s.refreshPrices()
+	return s
+}
+
+func (s *state) refreshPrices() {
+	s.maxPrice = 0
+	for i, d := range s.opt.Fleet {
+		s.prices[i] = d.Tariff.AtSlot(s.slot)
+		if s.prices[i] > s.maxPrice {
+			s.maxPrice = s.prices[i]
+		}
+	}
+}
+
+// peerEntry is one data peer of an arriving VM: its bidirectional volume
+// with the VM and its current DC (-1 when not resident).
+type peerEntry struct {
+	id  int
+	vol float64
+	dc  int
+}
+
+// candidate is a prepared (fit+score) decision awaiting commit.
+type candidate struct {
+	dc, srv    int
+	prof       []float64 // normalized to Options.Samples
+	seed       embed.Point
+	overflowed bool
+}
+
+// embedCfg returns the refinement/reconciliation embedding configuration —
+// the same tuning the batch controller embeds with (core.New).
+func (s *state) embedCfg() embed.Config {
+	return embed.Config{Seed: s.opt.Seed, MaxDisplace: 1.0, RepulsionScale: 4}
+}
+
+// prepare runs the fit and score phases against the current state without
+// mutating anything: a bounded capacity probe per DC, then the blended
+// cross-traffic/locality/correlation/energy score over the feasible DCs.
+// When no DC fits, the least-loaded DC's spill server is chosen and the
+// decision is flagged overflowed.
+func (s *state) prepare(vm *VM) (candidate, error) {
+	if _, ok := s.dcOf[vm.ID]; ok {
+		return candidate{}, ErrAlreadyPlaced
+	}
+	prof := normalizeProfile(vm.Profile, s.opt.Samples)
+	peers := s.peerEntries(vm)
+	seed := s.seedPos(vm.ID, peers)
+
+	n := len(s.packs)
+	srvs := make([]int, n)
+	feas := make([]bool, n)
+	anyFit := false
+	for i, tr := range s.packs {
+		srv, _, ok := tr.Probe(prof)
+		srvs[i], feas[i] = srv, ok
+		anyFit = anyFit || ok
+	}
+	if !anyFit {
+		best := 0
+		bu := s.packs[0].UsedFrac()
+		for i := 1; i < n; i++ {
+			if u := s.packs[i].UsedFrac(); u < bu {
+				best, bu = i, u
+			}
+		}
+		return candidate{dc: best, srv: s.packs[best].Overflow(), prof: prof, seed: seed, overflowed: true}, nil
+	}
+
+	// Locality: distance from the VM's seed position to each DC's resident
+	// centroid, normalized by the farthest one; empty DCs score neutral.
+	dist := make([]float64, n)
+	maxd := 0.0
+	for i := 0; i < n; i++ {
+		if s.resCount[i] == 0 {
+			dist[i] = -1
+			continue
+		}
+		c := embed.Point{
+			X: s.posSum[i].X / float64(s.resCount[i]),
+			Y: s.posSum[i].Y / float64(s.resCount[i]),
+		}
+		dist[i] = embed.Dist(seed, c)
+		if dist[i] > maxd {
+			maxd = dist[i]
+		}
+	}
+
+	best := -1
+	var bestScore float64
+	for i := 0; i < n; i++ {
+		if !feas[i] {
+			continue
+		}
+		loc := 0.5
+		if dist[i] >= 0 {
+			loc = 0
+			if maxd > 0 {
+				loc = dist[i] / maxd
+			}
+		}
+		sc := s.opt.Alpha*(0.7*s.crossTerm(i, peers)+0.3*loc) +
+			(1-s.opt.Alpha)*s.corrTerm(i, srvs[i], prof) +
+			s.opt.EnergyWeight*s.energyTerm(i)
+		if best < 0 || sc < bestScore {
+			best, bestScore = i, sc
+		}
+	}
+	return candidate{dc: best, srv: srvs[best], prof: prof, seed: seed}, nil
+}
+
+// corrSampleCap bounds the residents examined by the per-server correlation
+// score, keeping the score O(1) as servers fill.
+const corrSampleCap = 32
+
+// corrTerm scores peak coincidence between the arriving profile and the
+// candidate server's residents (the paper's Eq. 5 repulsion, evaluated
+// against the VMs the arrival would actually share hardware with). Empty
+// servers are neutral.
+func (s *state) corrTerm(dcI, srv int, prof []float64) float64 {
+	members := s.packs[dcI].Members(srv)
+	if len(members) == 0 {
+		return 0.5
+	}
+	m := len(members)
+	if m > corrSampleCap {
+		m = corrSampleCap
+	}
+	var sum float64
+	for k := 0; k < m; k++ {
+		sum += correlation.PeakCoincidence(prof, s.ps.Profile(members[k]))
+	}
+	return sum / float64(m)
+}
+
+// crossTerm scores the traffic the VM would send across DC boundaries:
+// volume-weighted link badness over the VM's placed peers (0 intra-DC,
+// 0.5..1 scaling with propagation delay). No placed peers is neutral.
+func (s *state) crossTerm(dcI int, peers []peerEntry) float64 {
+	var tot, num float64
+	for _, p := range peers {
+		if p.dc < 0 || p.vol <= 0 {
+			continue
+		}
+		tot += p.vol
+		if p.dc != dcI {
+			w := 0.5
+			if s.propNorm > 0 {
+				w += 0.5 * s.opt.Topo.PropagationDelay(dcI, p.dc) / s.propNorm
+			}
+			num += p.vol * w
+		}
+	}
+	if tot <= 0 {
+		return 0.5
+	}
+	return num / tot
+}
+
+// energyTerm scores a DC's current energy cost: its grid tariff relative to
+// the fleet's priciest, blended with its load fraction (fuller fleets run
+// servers at worse efficiency and leave less green headroom).
+func (s *state) energyTerm(dcI int) float64 {
+	var pf float64
+	if s.maxPrice > 0 {
+		pf = float64(s.prices[dcI]) / float64(s.maxPrice)
+	}
+	uf := s.packs[dcI].UsedFrac()
+	if uf > 1 {
+		uf = 1
+	}
+	return 0.5*pf + 0.5*uf
+}
+
+// peerEntries collects the VM's data peers: the adjacency already recorded
+// in the volume matrix plus the arrival's declared flows, deduplicated.
+func (s *state) peerEntries(vm *VM) []peerEntry {
+	var out []peerEntry
+	for _, q := range s.peers[vm.ID] {
+		out = append(out, peerEntry{id: q, vol: float64(s.dm.TotalBetween(vm.ID, q)), dc: s.dcAt(q)})
+	}
+	for _, fl := range vm.Flows {
+		v := float64(fl.ToPeer + fl.FromPeer)
+		found := false
+		for k := range out {
+			if out[k].id == fl.Peer {
+				out[k].vol += v
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, peerEntry{id: fl.Peer, vol: v, dc: s.dcAt(fl.Peer)})
+		}
+	}
+	return out
+}
+
+func (s *state) dcAt(id int) int {
+	if d, ok := s.dcOf[id]; ok {
+		return d
+	}
+	return -1
+}
+
+// seedPos seeds an arrival at the centroid of its placed data peers with a
+// small deterministic jitter — the batch controller's rule for first-seen
+// VMs — falling back to the deterministic scatter.
+func (s *state) seedPos(id int, peers []peerEntry) embed.Point {
+	var cx, cy float64
+	known := 0
+	for _, p := range peers {
+		if q, ok := s.pos[p.id]; ok {
+			cx += q.X
+			cy += q.Y
+			known++
+		}
+	}
+	if known == 0 {
+		return embed.InitialPosition(id, 10, s.opt.Seed)
+	}
+	jit := embed.InitialPosition(id, 0.5, s.opt.Seed)
+	return embed.Point{X: cx/float64(known) + jit.X, Y: cy/float64(known) + jit.Y}
+}
+
+// commit is the reserve phase: apply a prepared decision. Correlation state
+// first (the refinement field reads it), then the embedding seat, then
+// residency. Cost is O(profile + degree + RefineIters x (degree + SampleK))
+// — independent of fleet size.
+func (s *state) commit(vm *VM, c candidate) Decision {
+	id := vm.ID
+	s.ps.Add(id, c.prof)
+	s.ps.EnsureOrders(nil) // incremental: sorts only the new/changed row
+	if len(vm.Flows) > 0 {
+		for _, fl := range vm.Flows {
+			if fl.ToPeer > 0 {
+				s.dm.Add(id, fl.Peer, fl.ToPeer)
+				s.link(id, fl.Peer)
+			}
+			if fl.FromPeer > 0 {
+				s.dm.Add(fl.Peer, id, fl.FromPeer)
+				s.link(id, fl.Peer)
+			}
+		}
+		s.ref = s.dm.Mean()
+	}
+	p := c.seed
+	if s.opt.RefineIters > 0 && len(s.active) > 0 {
+		s.pos[id] = p
+		f := core.NewField(s.opt.Alpha, s.ps, s.dm, s.ref, s.peers)
+		p = embed.RefineOne(id, s.active, s.pos, f, s.embedCfg(), s.opt.RefineIters)
+	}
+	s.pos[id] = p
+	s.packs[c.dc].Commit(c.srv, id, c.prof)
+	s.dcOf[id] = c.dc
+	s.srvOf[id] = c.srv
+	s.actPos[id] = len(s.active)
+	s.active = append(s.active, id)
+	s.posSum[c.dc].X += p.X
+	s.posSum[c.dc].Y += p.Y
+	s.resCount[c.dc]++
+	s.gen++
+	return Decision{ID: id, DC: c.dc, Server: c.srv, Overflowed: c.overflowed}
+}
+
+// depart removes a resident VM, amending every structure the arrival built.
+func (s *state) depart(id int) bool {
+	dcI, ok := s.dcOf[id]
+	if !ok {
+		return false
+	}
+	srv := s.srvOf[id]
+	s.packs[dcI].Remove(srv, id, s.ps.Profile)
+	s.ps.Remove(id)
+	hadData := len(s.peers[id]) > 0
+	s.dm.RemoveVM(id)
+	s.unlink(id)
+	if hadData {
+		s.ref = s.dm.Mean()
+	}
+	p := s.pos[id]
+	delete(s.pos, id)
+	s.posSum[dcI].X -= p.X
+	s.posSum[dcI].Y -= p.Y
+	s.resCount[dcI]--
+	delete(s.dcOf, id)
+	delete(s.srvOf, id)
+	k := s.actPos[id]
+	last := s.active[len(s.active)-1]
+	s.active[k] = last
+	s.actPos[last] = k
+	s.active = s.active[:len(s.active)-1]
+	delete(s.actPos, id)
+	s.gen++
+	return true
+}
+
+// observe applies one telemetry refresh: profile rows are replaced in place,
+// the volume matrix and data adjacency are rebuilt from the observation, and
+// the per-server aggregates are recomputed from the fresh profiles. This is
+// the once-per-slot O(fleet) path; arrivals stay O(local) between refreshes.
+func (s *state) observe(o *Observation) {
+	if o.Slot != s.slot {
+		s.slot = o.Slot
+		s.refreshPrices()
+	}
+	for _, v := range o.VMs {
+		s.ps.Add(v.ID, normalizeProfile(v.Profile, s.opt.Samples))
+	}
+	s.ps.EnsureOrders(nil)
+	s.dm.Reset()
+	for _, ve := range o.Volumes {
+		s.dm.Add(ve.From, ve.To, ve.Vol)
+	}
+	s.ref = s.dm.Mean()
+	s.rebuildPeers()
+	for _, tr := range s.packs {
+		tr.RebuildAll(s.ps.Profile)
+	}
+	s.gen++
+}
+
+// link registers a data pair in the adjacency (both directions, dedup) —
+// the incremental counterpart of the batch field's derivation.
+func (s *state) link(a, b int) {
+	if !containsInt(s.peers[a], b) {
+		s.peers[a] = append(s.peers[a], b)
+	}
+	if !containsInt(s.peers[b], a) {
+		s.peers[b] = append(s.peers[b], a)
+	}
+}
+
+// unlink removes id from the adjacency entirely.
+func (s *state) unlink(id int) {
+	for _, q := range s.peers[id] {
+		l := s.peers[q]
+		w := 0
+		for _, x := range l {
+			if x != id {
+				l[w] = x
+				w++
+			}
+		}
+		if w == 0 {
+			delete(s.peers, q)
+		} else {
+			s.peers[q] = l[:w]
+		}
+	}
+	delete(s.peers, id)
+}
+
+// rebuildPeers re-derives the adjacency from the volume matrix — the same
+// registration order the batch field uses, so reconciliation and refinement
+// see identical peer lists.
+func (s *state) rebuildPeers() {
+	s.peers = make(map[int][]int, len(s.peers))
+	seen := make(map[[2]int]bool)
+	s.dm.Each(func(from, to int, _ units.DataSize) {
+		if !seen[[2]int{to, from}] {
+			s.peers[to] = append(s.peers[to], from)
+			seen[[2]int{to, from}] = true
+		}
+		if !seen[[2]int{from, to}] {
+			s.peers[from] = append(s.peers[from], to)
+			seen[[2]int{from, to}] = true
+		}
+	})
+}
+
+// normalizeProfile fits a profile to the daemon's sample count: returned
+// as-is when it already matches (ProfileSet.Add copies standard-length rows
+// into its arena), truncated or zero-padded otherwise.
+func normalizeProfile(prof []float64, samples int) []float64 {
+	if len(prof) == samples {
+		return prof
+	}
+	out := make([]float64, samples)
+	copy(out, prof)
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(s []int) { sort.Ints(s) }

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"geovmp/internal/timeutil"
+)
+
+// Diffs converts a workload's per-slot active sets into the arrival and
+// departure stream a serving controller consumes: arrivals[s] lists the ids
+// active at slot s but not at s-1 (all of slot 0's actives arrive at 0),
+// departures[s] the ids active at s-1 but gone at s. Both are ascending —
+// ActiveVMs is ascending and an ordered merge preserves that — so the
+// derived event order is deterministic. slots clamps the horizon; values
+// past src.Slots() are truncated.
+func Diffs(src Source, slots timeutil.Slot) (arrivals, departures [][]int) {
+	if slots > src.Slots() {
+		slots = src.Slots()
+	}
+	arrivals = make([][]int, slots)
+	departures = make([][]int, slots)
+	var prev []int
+	for s := timeutil.Slot(0); s < slots; s++ {
+		cur := src.ActiveVMs(s)
+		var arr, dep []int
+		i, j := 0, 0
+		for i < len(prev) || j < len(cur) {
+			switch {
+			case i >= len(prev):
+				arr = append(arr, cur[j])
+				j++
+			case j >= len(cur):
+				dep = append(dep, prev[i])
+				i++
+			case prev[i] == cur[j]:
+				i++
+				j++
+			case prev[i] < cur[j]:
+				dep = append(dep, prev[i])
+				i++
+			default:
+				arr = append(arr, cur[j])
+				j++
+			}
+		}
+		arrivals[s] = arr
+		departures[s] = dep
+		prev = cur
+	}
+	return arrivals, departures
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"testing"
+
+	"geovmp/internal/timeutil"
+	"geovmp/internal/units"
+)
+
+// diffSource is a minimal Source whose active sets are scripted.
+type diffSource struct {
+	actives [][]int
+}
+
+func (s *diffSource) NumVMs() int                           { return 100 }
+func (s *diffSource) ActiveVMs(sl timeutil.Slot) []int      { return s.actives[sl] }
+func (s *diffSource) Util(id int, st timeutil.Step) float64 { return 0 }
+func (s *diffSource) SlotProfile(id int, sl timeutil.Slot, n int) []float64 {
+	return make([]float64, n)
+}
+func (s *diffSource) Volumes(sl timeutil.Slot) []VolumeEntry { return nil }
+func (s *diffSource) PlannedVolumes(obs, act timeutil.Slot) []VolumeEntry {
+	return nil
+}
+func (s *diffSource) Image(id int) units.DataSize { return 0 }
+func (s *diffSource) Slots() timeutil.Slot        { return timeutil.Slot(len(s.actives)) }
+
+func TestDiffs(t *testing.T) {
+	src := &diffSource{actives: [][]int{
+		{1, 2, 3},
+		{1, 3, 4, 7},
+		{4, 7},
+		{4, 7, 9},
+	}}
+	arr, dep := Diffs(src, 4)
+	wantArr := [][]int{{1, 2, 3}, {4, 7}, nil, {9}}
+	wantDep := [][]int{nil, {2}, {1, 3}, nil}
+	for sl := 0; sl < 4; sl++ {
+		if !equalInts(arr[sl], wantArr[sl]) {
+			t.Fatalf("slot %d arrivals = %v, want %v", sl, arr[sl], wantArr[sl])
+		}
+		if !equalInts(dep[sl], wantDep[sl]) {
+			t.Fatalf("slot %d departures = %v, want %v", sl, dep[sl], wantDep[sl])
+		}
+	}
+}
+
+func TestDiffsClampsHorizon(t *testing.T) {
+	src := &diffSource{actives: [][]int{{1}, {1, 2}}}
+	arr, dep := Diffs(src, 10)
+	if len(arr) != 2 || len(dep) != 2 {
+		t.Fatalf("horizon not clamped: %d/%d", len(arr), len(dep))
+	}
+	if !equalInts(arr[1], []int{2}) || dep[1] != nil {
+		t.Fatalf("slot 1: arr=%v dep=%v", arr[1], dep[1])
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
