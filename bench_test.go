@@ -10,10 +10,27 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"sync"
 	"testing"
 
+	"geovmp/internal/core"
 	"geovmp/internal/experiment"
 )
+
+// proposedCapture is a Proposed-only policy list whose factory also hands
+// every constructed controller to the caller, so benchmarks can read
+// per-controller accumulators (embedding wall time, cache stats) after a
+// sweep. The append is mutex-guarded: cells construct policies
+// concurrently.
+func proposedCapture(alpha float64, mu *sync.Mutex, out *[]*core.Controller) []PolicySpec {
+	return []PolicySpec{NewPolicySpec("Proposed", func(seed uint64) Policy {
+		c := Proposed(alpha, seed)
+		mu.Lock()
+		*out = append(*out, c)
+		mu.Unlock()
+		return c
+	})}
+}
 
 // benchSpec is the shared reduced scenario: 2% of Table I (30/20/10
 // servers, ~420 VMs), one day, 5-minute green-controller steps.
@@ -339,12 +356,16 @@ func benchEpochSpec(epochs int) Spec {
 // When GEOVMP_BENCH_EPOCH_JSON names a path, the epochs4 variant writes its
 // headline numbers there (CI uploads it as BENCH_epoch.json).
 func BenchmarkEpochSweep(b *testing.B) {
-	run := func(b *testing.B, epochs int) (costEUR, cellsPerSec float64, migrations int) {
+	run := func(b *testing.B, epochs int, fast bool) (costEUR, cellsPerSec, boundaryMS float64, migrations int) {
 		b.Helper()
+		var mu sync.Mutex
+		var ctls []*core.Controller
 		for i := 0; i < b.N; i++ {
+			spec := benchEpochSpec(epochs)
+			spec.FastMath = fast
 			set, err := NewExperiment(
-				WithScenarios(benchEpochSpec(epochs)),
-				WithPolicies(StandardPolicies(0.9)[:1]...),
+				WithScenarios(spec),
+				WithPolicies(proposedCapture(0.9, &mu, &ctls)...),
 				WithSeeds(2),
 			).Run(context.Background())
 			if err != nil {
@@ -358,14 +379,29 @@ func BenchmarkEpochSweep(b *testing.B) {
 			costEUR /= 2
 			cellsPerSec = float64(len(set.Cells)) * float64(b.N) / b.Elapsed().Seconds()
 		}
+		// Mean embedding wall time spent on epoch-boundary re-optimization
+		// slots per cell: the quantity the fast mode's warm-restart
+		// amortization targets.
+		var boundaryNS int64
+		for _, c := range ctls {
+			boundaryNS += c.BoundaryEmbedNS
+		}
+		if len(ctls) > 0 {
+			boundaryMS = float64(boundaryNS) / 1e6 / float64(len(ctls))
+		}
 		b.ReportMetric(cellsPerSec, "cells/s")
 		b.ReportMetric(costEUR, "eur-proposed-mean")
 		b.ReportMetric(float64(migrations), "migrations")
-		return costEUR, cellsPerSec, migrations
+		if epochs > 1 {
+			b.ReportMetric(boundaryMS, "boundary-embed-ms")
+		}
+		return costEUR, cellsPerSec, boundaryMS, migrations
 	}
-	b.Run("static", func(b *testing.B) { run(b, 1) })
+	b.Run("static", func(b *testing.B) { run(b, 1, false) })
+	var exactBoundaryMS float64
 	b.Run("epochs4", func(b *testing.B) {
-		costEUR, cellsPerSec, migrations := run(b, 4)
+		costEUR, cellsPerSec, boundaryMS, migrations := run(b, 4, false)
+		exactBoundaryMS = boundaryMS
 		path := os.Getenv("GEOVMP_BENCH_EPOCH_JSON")
 		if path == "" || b.N == 0 {
 			return
@@ -376,6 +412,7 @@ func BenchmarkEpochSweep(b *testing.B) {
 			CellsPerSec     float64 `json:"cells_per_sec"`
 			ProposedMeanEUR float64 `json:"policy_mean_cost_eur_proposed"`
 			Migrations      int     `json:"migrations"`
+			BoundaryEmbedMS float64 `json:"boundary_embed_ms"`
 			NsPerOp         float64 `json:"ns_per_op"`
 		}{
 			Benchmark:       "BenchmarkEpochSweep/epochs4",
@@ -383,8 +420,15 @@ func BenchmarkEpochSweep(b *testing.B) {
 			CellsPerSec:     cellsPerSec,
 			ProposedMeanEUR: costEUR,
 			Migrations:      migrations,
+			BoundaryEmbedMS: boundaryMS,
 			NsPerOp:         float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 		})
+	})
+	b.Run("epochs4-fast", func(b *testing.B) {
+		_, _, boundaryMS, _ := run(b, 4, true)
+		if exactBoundaryMS > 0 && boundaryMS > 0 {
+			b.ReportMetric(exactBoundaryMS/boundaryMS, "boundary-speedup-x")
+		}
 	})
 }
 
@@ -602,10 +646,11 @@ func benchLargeSpec() Spec {
 // When GEOVMP_BENCH_GLOBAL_JSON names a path, the parallel variant writes
 // its headline numbers there (CI uploads it as BENCH_global.json).
 func BenchmarkGlobalPhase(b *testing.B) {
-	spec := benchLargeSpec()
-	slots := float64(spec.Horizon.Slots)
-	run := func(b *testing.B, parallelism int) (costEUR, slotsPerSec float64) {
+	run := func(b *testing.B, parallelism int, fast bool) (costEUR, slotsPerSec float64) {
 		b.Helper()
+		spec := benchLargeSpec()
+		spec.FastMath = fast
+		slots := float64(spec.Horizon.Slots)
 		for i := 0; i < b.N; i++ {
 			set, err := NewExperiment(
 				WithScenarios(spec),
@@ -622,28 +667,44 @@ func BenchmarkGlobalPhase(b *testing.B) {
 		b.ReportMetric(costEUR, "eur-proposed")
 		return costEUR, slotsPerSec
 	}
-	var serialCost float64
+	var serialCost, serialFastCost float64
+	var parSlotsPerSec, parCost float64
 	b.Run("serial", func(b *testing.B) {
-		serialCost, _ = run(b, 1)
+		serialCost, _ = run(b, 1, false)
+	})
+	b.Run("serial-fast", func(b *testing.B) {
+		serialFastCost, _ = run(b, 1, true)
 	})
 	b.Run("parallel", func(b *testing.B) {
-		cost, slotsPerSec := run(b, 0)
-		if serialCost != 0 && cost != serialCost {
-			b.Fatalf("parallel cost %v != serial cost %v — sharding changed results", cost, serialCost)
+		parCost, parSlotsPerSec = run(b, 0, false)
+		if serialCost != 0 && parCost != serialCost {
+			b.Fatalf("parallel cost %v != serial cost %v — sharding changed results", parCost, serialCost)
+		}
+	})
+	b.Run("parallel-fast", func(b *testing.B) {
+		cost, slotsPerSec := run(b, 0, true)
+		// Fast mode is approximate versus exact, but must stay
+		// deterministic across worker counts.
+		if serialFastCost != 0 && cost != serialFastCost {
+			b.Fatalf("parallel-fast cost %v != serial-fast cost %v — sharding changed results", cost, serialFastCost)
 		}
 		if path := os.Getenv("GEOVMP_BENCH_GLOBAL_JSON"); path != "" && b.N > 0 {
 			artifact := struct {
-				Benchmark   string  `json:"benchmark"`
-				N           int     `json:"n"`
-				SlotsPerSec float64 `json:"slots_per_sec"`
-				ProposedEUR float64 `json:"policy_cost_eur_proposed"`
-				NsPerOp     float64 `json:"ns_per_op"`
+				Benchmark       string  `json:"benchmark"`
+				N               int     `json:"n"`
+				SlotsPerSec     float64 `json:"slots_per_sec"`
+				FastSlotsPerSec float64 `json:"fast_slots_per_sec"`
+				ProposedEUR     float64 `json:"policy_cost_eur_proposed"`
+				FastProposedEUR float64 `json:"fast_policy_cost_eur_proposed"`
+				NsPerOp         float64 `json:"ns_per_op"`
 			}{
-				Benchmark:   "BenchmarkGlobalPhase/parallel",
-				N:           b.N,
-				SlotsPerSec: slotsPerSec,
-				ProposedEUR: cost,
-				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				Benchmark:       "BenchmarkGlobalPhase/parallel",
+				N:               b.N,
+				SlotsPerSec:     parSlotsPerSec,
+				FastSlotsPerSec: slotsPerSec,
+				ProposedEUR:     parCost,
+				FastProposedEUR: cost,
+				NsPerOp:         float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 			}
 			writeBenchJSON(b, path, artifact)
 		}

@@ -51,6 +51,7 @@ var (
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this path")
 	memProf  = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	traceOut = flag.String("trace", "", "write a runtime/trace of the sweep to this path (inspect shard balance with `go tool trace`)")
+	fastmath = flag.Bool("fastmath", false, "enable the approximate fast-numeric mode (quantized correlation kernel, cached embedding forces; see PERFORMANCE.md)")
 )
 
 // startProfiles begins CPU profiling and execution tracing (when requested)
@@ -120,12 +121,16 @@ func startProfiles() (stop func(), err error) {
 
 // baseOpts are the scenario options shared by every experiment.
 func baseOpts() []geovmp.ScenarioOption {
-	return []geovmp.ScenarioOption{
+	opts := []geovmp.ScenarioOption{
 		geovmp.WithScale(*scale),
 		geovmp.WithSeed(*seed),
 		geovmp.WithHorizon(geovmp.Days(*days)),
 		geovmp.WithFineStep(*fineStep),
 	}
+	if *fastmath {
+		opts = append(opts, geovmp.WithFastMath())
+	}
+	return opts
 }
 
 func baseSpec(name string, extra ...geovmp.ScenarioOption) geovmp.Spec {
@@ -406,6 +411,7 @@ func runEpochSweep(ctx context.Context) error {
 		spec.Seed = *seed
 		spec.Horizon = geovmp.Days(*days)
 		spec.FineStepSec = *fineStep
+		spec.FastMath = *fastmath
 		spec.Epochs = n
 		// Explicit default charging so the epochs=1 row runs the engine too
 		// (single epoch, no boundary re-optimization) and every row pays

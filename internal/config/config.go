@@ -113,6 +113,12 @@ type Spec struct {
 	// ArrivalWave modulates the synthetic arrival rate diurnally with the
 	// given amplitude in [0, 1); 0 keeps arrivals stationary.
 	ArrivalWave float64
+	// FastMath opts controllers into their approximate fast-numeric paths
+	// (quantized correlation kernel, epoch-amortized embedding caches).
+	// Default off: unset runs stay bit-identical to prior releases. The
+	// per-pair kernel error is bounded by correlation.FastEps; see
+	// PERFORMANCE.md for the end-to-end metric tolerance.
+	FastMath bool
 }
 
 // DefaultScenarioName labels unnamed specs: the paper's Table I world.
@@ -284,6 +290,7 @@ func Build(spec Spec) (*sim.Scenario, error) {
 		WarmupSlots:    spec.WarmupSlots,
 		Epochs:         spec.Epochs,
 		Migration:      spec.Migration,
+		FastMath:       spec.FastMath,
 	}, nil
 }
 

@@ -1,0 +1,77 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+// Documented end-to-end tolerances of the fast numeric mode (PERFORMANCE.md
+// "Fast numeric mode"). The per-pair kernel error is hard-bounded by
+// correlation.FastEps (≈0.4% of a correlation unit); how far that
+// propagates depends on the metric's shape:
+//
+//   - Fleet aggregates (operational cost, total energy) average over every
+//     slot and DC, so pair-level noise washes out: observed ≤0.5% on the
+//     tested grid, pinned at 2%.
+//   - Response metrics are order statistics over individual placements: a
+//     borderline cluster assignment flipped by sub-FastEps noise relocates
+//     a service chain and moves the mean/worst sample. On the reduced
+//     benchmark fleets they shift up to ~15%, pinned at 20%.
+const (
+	fastMathTolAggregate = 0.02
+	fastMathTolResponse  = 0.20
+)
+
+// TestFastMathTolerance is the tentpole acceptance test: two presets x two
+// seeds, exact versus FastMath, every headline metric pinned within its
+// documented tolerance. Both runs are fully deterministic, so any failure
+// is a real behavior change, not flake. It also asserts fast mode actually
+// engaged — identical results would mean the flag is dead plumbing.
+func TestFastMathTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	relDiff := func(fast, exact float64) float64 {
+		if exact == 0 {
+			return math.Abs(fast)
+		}
+		return math.Abs(fast-exact) / math.Abs(exact)
+	}
+	identical := true
+	for _, preset := range []string{"paper-geo3dc", "geo5dc"} {
+		for _, seed := range []uint64{7, 19} {
+			spec := compileSpec(t, preset, seed)
+			// The tolerance grid runs a larger fleet than the equivalence
+			// tests: on very small fleets single placement flips dominate
+			// every metric and no meaningful bound exists.
+			spec.Scale = 0.05
+			exact := runWith(t, spec, nil, nil)
+			fastSpec := spec
+			fastSpec.FastMath = true
+			fast := runWith(t, fastSpec, nil, nil)
+
+			checks := []struct {
+				name        string
+				fast, exact float64
+				tol         float64
+			}{
+				{"op-cost-eur", float64(fast.OpCost), float64(exact.OpCost), fastMathTolAggregate},
+				{"total-energy", float64(fast.TotalEnergy), float64(exact.TotalEnergy), fastMathTolAggregate},
+				{"resp-mean", fast.RespSummary.Mean(), exact.RespSummary.Mean(), fastMathTolResponse},
+				{"resp-worst", fast.RespSummary.Max(), exact.RespSummary.Max(), fastMathTolResponse},
+			}
+			for _, c := range checks {
+				if d := relDiff(c.fast, c.exact); d > c.tol {
+					t.Errorf("%s seed %d %s: fast %v vs exact %v — rel diff %.4f > %.2f",
+						preset, seed, c.name, c.fast, c.exact, d, c.tol)
+				} else if d != 0 {
+					identical = false
+					t.Logf("%s seed %d %s: rel diff %.5f (tol %.2f)", preset, seed, c.name, d, c.tol)
+				}
+			}
+		}
+	}
+	if identical {
+		t.Error("fast-math runs were bit-identical to exact on every cell — the mode did not engage")
+	}
+}

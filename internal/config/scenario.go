@@ -237,6 +237,12 @@ func WithWorkload(w trace.Source) Option { return func(s *Spec) { s.Workload = w
 // epochs (1 = the static path, byte-identical to not setting it).
 func WithEpochs(n int) Option { return func(s *Spec) { s.Epochs = n } }
 
+// WithFastMath opts controllers into their approximate fast-numeric paths:
+// the quantized peak-coincidence kernel (per-pair error bounded by
+// correlation.FastEps) and the epoch-amortized embedding force caches.
+// Default off — unset runs stay bit-identical to prior releases.
+func WithFastMath() Option { return func(s *Spec) { s.FastMath = true } }
+
 // WithMigrationBudget parameterizes the epoch engine's migration
 // accounting: per-epoch move budget, per-GB transfer energy, per-move
 // downtime. Setting it activates the engine even at Epochs <= 1.

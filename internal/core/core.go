@@ -28,6 +28,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"geovmp/internal/alloc"
 	"geovmp/internal/cluster"
@@ -85,10 +86,21 @@ type Controller struct {
 	// time.
 	reoptimize bool
 
+	// embedCache retains fast-mode force state between embedding runs so
+	// warm restarts recompute only rows whose correlation inputs changed.
+	// Lazily created on the first fast-mode Place.
+	embedCache *embed.Cache
+
 	// LastEmbedIters and LastEmbedCost record the most recent embedding
 	// run's iteration count and cost trace (diagnostics).
 	LastEmbedIters int
 	LastEmbedCost  []float64
+	// EmbedNS accumulates wall time (ns) spent inside embed.Run across the
+	// simulation; BoundaryEmbedNS the subset spent on epoch-boundary
+	// re-optimization slots. Benchmarks read these to isolate the
+	// embedding's share of a slot.
+	EmbedNS         int64
+	BoundaryEmbedNS int64
 }
 
 // New returns a Controller with the given alpha (0.9 when out of range) and
@@ -125,6 +137,9 @@ type field struct {
 	vols  *correlation.DataMatrix
 	ref   units.DataSize
 	peers map[int][]int
+	// fast routes the repulsion term through the quantized
+	// peak-coincidence kernel (error bound correlation.FastEps per pair).
+	fast bool
 }
 
 // Force implements embed.Field: F_t exerted on `onto` by `by`, combining
@@ -132,8 +147,21 @@ type field struct {
 // repulsion.
 func (f *field) Force(onto, by int) float64 {
 	fa := correlation.NormalizeData(f.vols.Vol(by, onto), f.ref)
-	fr := f.ps.CPUCorr(onto, by)
+	var fr float64
+	if f.fast {
+		fr = f.ps.CPUCorrFast(onto, by)
+	} else {
+		fr = f.ps.CPUCorr(onto, by)
+	}
 	return f.alpha*fa + (1-f.alpha)*fr
+}
+
+// Generation implements embed.GenField: a per-VM change counter covering
+// every input a force involving id depends on — its utilization profile
+// and every volume cell touching it. Sums of the two containers'
+// monotonic counters, so any single-input change moves the result.
+func (f *field) Generation(id int) uint64 {
+	return f.ps.Gen(id) + f.vols.Gen(id)
 }
 
 // RepulsionRow implements embed.SplitField: the peak-coincidence term is
@@ -144,7 +172,11 @@ func (f *field) Force(onto, by int) float64 {
 // alpha*0 + (1-alpha)*fr, which equals this row's (1-alpha)*fr bit for
 // bit, satisfying the SplitField decomposition contract.
 func (f *field) RepulsionRow(a int, bs []int, dst []float64) {
-	f.ps.CPUCorrInto(dst, a, bs)
+	if f.fast {
+		f.ps.CPUCorrFastInto(dst, a, bs)
+	} else {
+		f.ps.CPUCorrInto(dst, a, bs)
+	}
 	w := 1 - f.alpha
 	for k := range dst {
 		dst[k] *= w
@@ -338,6 +370,8 @@ func (c *Controller) Place(in *policy.Input) policy.Placement {
 	// it), falling back to the deterministic scatter. Departed VMs are
 	// pruned lazily by rebuilding the map from this slot's result.
 	f := buildField(c.Alpha, in)
+	fast := c.Embed.FastMath || in.FastMath
+	f.fast = fast
 	init := make(map[int]embed.Point, len(ids))
 	for _, id := range ids {
 		if p, ok := c.positions[id]; ok {
@@ -371,6 +405,15 @@ func (c *Controller) Place(in *policy.Input) policy.Placement {
 	} else {
 		cfg := c.Embed
 		cfg.Workers = in.Workers
+		if fast {
+			cfg.FastMath = true
+			if c.embedCache == nil {
+				c.embedCache = embed.NewCache()
+			}
+			cfg.Cache = c.embedCache
+			// Build the quantized tables alongside the sample orders below.
+			in.Profiles.SetFastMath(true)
+		}
 		// The embedding queries CPU correlations from concurrent shards;
 		// precomputing the pruned kernel's sample orders here (itself
 		// sharded) makes the profile set read-only for the rest of the
@@ -387,7 +430,13 @@ func (c *Controller) Place(in *policy.Input) policy.Placement {
 			// regime's correlation geometry.
 			cfg.MaxIters = reoptBoost * maxInt(cfg.MaxIters, 20)
 		}
+		start := time.Now()
 		res := embed.Run(ids, init, f, cfg)
+		ns := time.Since(start).Nanoseconds()
+		c.EmbedNS += ns
+		if reopt {
+			c.BoundaryEmbedNS += ns
+		}
 		c.LastEmbedIters = res.Iterations
 		c.LastEmbedCost = res.Cost
 		pos = res.Pos
@@ -473,3 +522,12 @@ func maxInt(a, b int) int {
 // Positions exposes the controller's current embedding layout (read-only
 // view for diagnostics and visualization tools).
 func (c *Controller) Positions() map[int]embed.Point { return c.positions }
+
+// EmbedCacheStats reports the fast-mode force cache's cumulative reuse
+// counters (zero value when fast mode never ran).
+func (c *Controller) EmbedCacheStats() embed.CacheStats {
+	if c.embedCache == nil {
+		return embed.CacheStats{}
+	}
+	return c.embedCache.Stats
+}

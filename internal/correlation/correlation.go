@@ -170,7 +170,44 @@ type ProfileSet struct {
 	// the orders stay exact across any Add/Remove sequence.
 	ord    []uint16
 	ordVal []float64
+	// gen holds one monotonic change counter per id, bumped by every Add,
+	// Remove and Reset touching the id. Consumers (the embedding's force
+	// cache) compare counters across slots to skip recomputing state
+	// derived from unchanged profiles; equal counters guarantee the
+	// profile bytes are unchanged since the counter was read.
+	gen []uint64
+	// Fast-math state (see SetFastMath): when enabled, EnsureOrders also
+	// quantizes every standard arena row to qScale fixed-point ticks —
+	// qrow mirrors the arena in sample order, qord mirrors ordVal in
+	// descending order, and qok flags the rows whose samples all fit the
+	// uint16 range. The quantized tables are 4x denser than the float
+	// arena, which is what the cache-blocked CPUCorrFastInto kernel walks.
+	fastMath bool
+	qrow     []uint16
+	qord     []uint16
+	qok      []bool
 }
+
+// Fixed-point parameters of the fast peak-coincidence kernel.
+const (
+	// qScale is the tick size: 4096 ticks per unit of utilization, so a
+	// uint16 covers utilizations up to 16.0 with 2.4e-4 resolution. Rows
+	// holding negative or >16.0 samples are flagged unquantizable and fall
+	// back to the exact kernel pair by pair.
+	qScale = 4096
+	// qMinDen is the minimum quantized peak sum (numerator of Eq. 5's
+	// denominator) the fast kernel accepts: 512 ticks = 1/8 of one core.
+	// Near-idle pairs below it fall back to the exact kernel, which caps
+	// the relative quantization error (see FastEps).
+	qMinDen = 512
+)
+
+// FastEps bounds the absolute error of the fast kernel against the exact
+// one, per pair: numerator and denominator are each within ±1 tick of the
+// scaled exact values, the denominator is at least qMinDen ticks, and the
+// ratio is <= 1, so |fast - exact| <= 2/qMinDen. The clamps to [1e-9, 1]
+// are shared and 1-Lipschitz, so they never widen the gap.
+const FastEps = 2.0 / qMinDen
 
 const (
 	absentRow = int32(-1)
@@ -191,14 +228,28 @@ func (ps *ProfileSet) Reset() {
 	for _, id := range ps.ids {
 		ps.off[id] = absentRow
 		ps.peaks[id] = 0
+		ps.gen[id]++
 	}
 	ps.ids = ps.ids[:0]
 	ps.arena = ps.arena[:0]
 	ps.odd = ps.odd[:0]
 	ps.ord = ps.ord[:0]
 	ps.ordVal = ps.ordVal[:0]
+	ps.qrow = ps.qrow[:0]
+	ps.qord = ps.qord[:0]
+	ps.qok = ps.qok[:0]
 	ps.freeStd = ps.freeStd[:0]
 	ps.freeOdd = ps.freeOdd[:0]
+}
+
+// Gen returns id's change counter: it moves exactly when an Add, Remove or
+// Reset touches id, so two equal readings bracket a window in which id's
+// profile (including its absence) was untouched. Unregistered ids read 0.
+func (ps *ProfileSet) Gen(id int) uint64 {
+	if id < 0 || id >= len(ps.gen) {
+		return 0
+	}
+	return ps.gen[id]
 }
 
 // Len returns the number of registered profiles.
@@ -266,6 +317,7 @@ func (ps *ProfileSet) Add(id int, prof []float64) {
 		}
 	}
 	ps.peaks[id] = peak
+	ps.gen[id]++
 }
 
 // Remove forgets id's profile, releasing its storage to the free lists for
@@ -279,6 +331,7 @@ func (ps *ProfileSet) Remove(id int) {
 	ps.freeStorage(ps.off[id])
 	ps.off[id] = absentRow
 	ps.peaks[id] = 0
+	ps.gen[id]++
 	p := ps.idPos[id]
 	last := ps.ids[len(ps.ids)-1]
 	ps.ids[p] = last
@@ -310,6 +363,9 @@ func (ps *ProfileSet) rebuildOrder(off int32) {
 		return
 	}
 	sortRowDesc(ps.arena[off:end], ps.ord[off:end], ps.ordVal[off:end])
+	if ps.fastMath && end <= len(ps.qrow) {
+		ps.quantizeRow(off)
+	}
 }
 
 func (ps *ProfileSet) grow(n int) {
@@ -330,6 +386,9 @@ func (ps *ProfileSet) grow(n int) {
 	idPos := make([]int32, n)
 	copy(idPos, ps.idPos)
 	ps.idPos = idPos
+	gen := make([]uint64, n)
+	copy(gen, ps.gen)
+	ps.gen = gen
 }
 
 // Has reports whether a profile for id exists.
@@ -396,12 +455,100 @@ func (ps *ProfileSet) EnsureOrders(workers *par.Budget) {
 		ps.ord = ps.ord[:need]
 		ps.ordVal = ps.ordVal[:need]
 	}
+	if ps.fastMath {
+		ps.ensureQuantCap(rows, need)
+	}
 	const rowGrain = 256
 	par.For(workers, rows-built, rowGrain, func(lo, hi int) {
 		for r := built + lo; r < built+hi; r++ {
 			sortRowDesc(ps.arena[r*s:(r+1)*s], ps.ord[r*s:(r+1)*s], ps.ordVal[r*s:(r+1)*s])
+			if ps.fastMath {
+				ps.quantizeRow(int32(r * s))
+			}
 		}
 	})
+}
+
+// SetFastMath toggles the quantized fast-math tables. Enabling quantizes
+// every row whose sample order is already built and makes EnsureOrders
+// quantize new rows alongside their orders; disabling drops the tables.
+// Toggling never affects CPUCorr/CPUCorrInto results — only the opt-in
+// CPUCorrFastInto query reads the quantized state, and without it that
+// query degrades to the exact kernels.
+func (ps *ProfileSet) SetFastMath(on bool) {
+	if ps.fastMath == on {
+		return
+	}
+	ps.fastMath = on
+	if !on {
+		ps.qrow = ps.qrow[:0]
+		ps.qord = ps.qord[:0]
+		ps.qok = ps.qok[:0]
+		return
+	}
+	s := ps.samples
+	if s <= 0 {
+		return
+	}
+	rows := len(ps.ord) / s
+	ps.ensureQuantCap(rows, rows*s)
+	for r := 0; r < rows; r++ {
+		ps.quantizeRow(int32(r * s))
+	}
+}
+
+// FastMath reports whether the quantized tables are enabled.
+func (ps *ProfileSet) FastMath() bool { return ps.fastMath }
+
+// ensureQuantCap sizes the quantized tables to cover rows arena rows.
+func (ps *ProfileSet) ensureQuantCap(rows, need int) {
+	if cap(ps.qrow) < need {
+		qr := make([]uint16, need)
+		copy(qr, ps.qrow)
+		ps.qrow = qr
+		qo := make([]uint16, need)
+		copy(qo, ps.qord)
+		ps.qord = qo
+	} else {
+		ps.qrow = ps.qrow[:need]
+		ps.qord = ps.qord[:need]
+	}
+	if cap(ps.qok) < rows {
+		qk := make([]bool, rows)
+		copy(qk, ps.qok)
+		ps.qok = qk
+	} else {
+		ps.qok = ps.qok[:rows]
+	}
+}
+
+// quantizeRow fills the quantized mirrors of the arena row at off from the
+// float row and its (already built) sample order. Rounding is half-up —
+// monotone in the sample value, so the quantized descending order is the
+// float descending order and qord[0] is the row's quantized peak. Rows with
+// negative samples or samples past the uint16 range (utilization > 16.0)
+// are flagged unquantizable and keep taking the exact kernel.
+func (ps *ProfileSet) quantizeRow(off int32) {
+	s := ps.samples
+	r := int(off) / s
+	row := ps.arena[off : int(off)+s]
+	ord := ps.ord[off : int(off)+s]
+	qr := ps.qrow[off : int(off)+s]
+	qo := ps.qord[off : int(off)+s]
+	for t, v := range row {
+		q := v*qScale + 0.5
+		// The negated form also rejects NaN samples, whose uint16
+		// conversion would be unspecified.
+		if !(v >= 0 && q < 65536) {
+			ps.qok[r] = false
+			return
+		}
+		qr[t] = uint16(q)
+	}
+	for k, t := range ord {
+		qo[k] = qr[t]
+	}
+	ps.qok[r] = true
 }
 
 // sortRowDesc fills ord with row's sample indices sorted by descending
@@ -516,6 +663,103 @@ func (ps *ProfileSet) CPUCorrInto(dst []float64, i int, js []int) {
 			dst[k] = peakCoincidenceKnown(a, b, peakA, ps.peaks[j])
 		}
 	}
+}
+
+// CPUCorrFast is the scalar form of CPUCorrFastInto.
+func (ps *ProfileSet) CPUCorrFast(i, j int) float64 {
+	var one [1]float64
+	js := [1]int{j}
+	ps.CPUCorrFastInto(one[:], i, js[:])
+	return one[0]
+}
+
+// CPUCorrFastInto is the quantized, cache-blocked variant of CPUCorrInto:
+// dst[k] approximates CPUCorr(i, js[k]) within FastEps. It walks VM i's
+// samples in the same descending order as the exact pruned kernel, but over
+// the uint16 fixed-point tables built by EnsureOrders under SetFastMath —
+// 4x denser rows, integer compares, and a strip-blocked early exit (the
+// exact bound a[t]+peakB <= best checked once per strip of 8, conservative
+// by monotonicity of the descending walk, so stopping is never wrong).
+//
+// Pairs the quantized tables cannot represent keep the exact result: odd
+// or missing rows, rows flagged unquantizable (negative or >16.0 samples),
+// pairs whose quantized peak sum is under qMinDen ticks, and every query
+// before SetFastMath(true)/EnsureOrders. The error-budget property test in
+// fastmath_test.go holds this contract over adversarial profiles.
+func (ps *ProfileSet) CPUCorrFastInto(dst []float64, i int, js []int) {
+	s := ps.samples
+	var offA = absentRow
+	if i >= 0 && i < len(ps.off) {
+		offA = ps.off[i]
+	}
+	var ordA, qoA []uint16
+	if ps.fastMath && offA >= 0 && s > 0 {
+		if end := int(offA) + s; end <= len(ps.qord) && ps.qok[int(offA)/s] {
+			ordA = ps.ord[offA:end]
+			qoA = ps.qord[offA:end]
+		}
+	}
+	if ordA == nil {
+		ps.CPUCorrInto(dst, i, js)
+		return
+	}
+	qpA := int32(qoA[0])
+	for k, j := range js {
+		if j >= 0 && j < len(ps.off) {
+			if offB := ps.off[j]; offB >= 0 {
+				if endB := int(offB) + s; endB <= len(ps.qord) && ps.qok[int(offB)/s] {
+					// Partner's quantized peak: the head of its own
+					// descending order.
+					den := qpA + int32(ps.qord[offB])
+					if den >= qMinDen {
+						dst[k] = fastPeakCoincidence(ps.qrow[offB:endB], ordA, qoA, den-qpA, den)
+						continue
+					}
+				}
+			}
+		}
+		dst[k] = ps.CPUCorr(i, j)
+	}
+}
+
+// fastStrip is the blocking factor of the fast kernel's ordered walk: the
+// early-exit bound is tested once per strip, and a strip of 8 uint16 loads
+// spans one 16-byte vector lane pair, keeping the inner loop branch-light.
+const fastStrip = 8
+
+// fastPeakCoincidence is the quantized pruned kernel: qb is the partner row
+// in sample order, ordA/qoA the anchor's descending sample order and
+// quantized values, qpB the partner's quantized peak and den the quantized
+// peak sum (>= qMinDen). The combined peak is an exact integer max over the
+// quantized samples, so the only error versus the exact kernel is the ±1
+// tick rounding of numerator and denominator — the FastEps budget.
+func fastPeakCoincidence(qb []uint16, ordA, qoA []uint16, qpB, den int32) float64 {
+	n := len(ordA)
+	best := int32(-1)
+	for st := 0; st < n; st += fastStrip {
+		// Strip-level early exit: every unvisited anchor sample is
+		// <= qoA[st], so no unvisited sum can beat best.
+		if int32(qoA[st])+qpB <= best {
+			break
+		}
+		end := st + fastStrip
+		if end > n {
+			end = n
+		}
+		for k := st; k < end; k++ {
+			if sum := int32(qoA[k]) + int32(qb[ordA[k]]); sum > best {
+				best = sum
+			}
+		}
+	}
+	c := float64(best) / float64(den)
+	if c < 1e-9 {
+		c = 1e-9
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
 }
 
 // peakCoincidenceKnown is PeakCoincidence over equal-length profiles with
@@ -638,6 +882,11 @@ type DataMatrix struct {
 	froms []int       // rows touched since the last Reset
 	pairs int
 	max   units.DataSize
+	// gen holds one monotonic change counter per id, bumped whenever a
+	// volume cell touching the id (as sender or receiver) is added,
+	// removed or reset — the matrix-side half of the embedding force
+	// cache's change detection.
+	gen []uint64
 }
 
 type volCell struct {
@@ -654,6 +903,12 @@ func NewDataMatrix() *DataMatrix {
 // rebuild allocates nothing in steady state.
 func (m *DataMatrix) Reset() {
 	for _, from := range m.froms {
+		for _, c := range m.rows[from] {
+			m.gen[c.to]++
+		}
+		if len(m.rows[from]) > 0 {
+			m.gen[from]++
+		}
 		m.rows[from] = m.rows[from][:0]
 	}
 	m.froms = m.froms[:0]
@@ -661,11 +916,36 @@ func (m *DataMatrix) Reset() {
 	m.max = 0
 }
 
+// Gen returns id's change counter: it moves exactly when a cell touching id
+// is added, removed or reset. Unknown ids read 0.
+func (m *DataMatrix) Gen(id int) uint64 {
+	if id < 0 || id >= len(m.gen) {
+		return 0
+	}
+	return m.gen[id]
+}
+
+// bumpGen advances id's change counter, growing the table on first touch.
+func (m *DataMatrix) bumpGen(id int) {
+	if id >= len(m.gen) {
+		n := id + 1
+		if d := 2 * len(m.gen); n < d {
+			n = d
+		}
+		gen := make([]uint64, n)
+		copy(gen, m.gen)
+		m.gen = gen
+	}
+	m.gen[id]++
+}
+
 // Add accumulates volume onto the directed pair (from, to).
 func (m *DataMatrix) Add(from, to int, vol units.DataSize) {
 	if vol <= 0 || from == to || from < 0 || to < 0 {
 		return
 	}
+	m.bumpGen(from)
+	m.bumpGen(to)
 	if from >= len(m.rows) {
 		n := from + 1
 		if d := 2 * len(m.rows); n < d {
@@ -719,6 +999,7 @@ func (m *DataMatrix) RemoveVM(id int) {
 				if c.vol > removedMax {
 					removedMax = c.vol
 				}
+				m.bumpGen(c.to)
 			}
 			m.pairs -= len(row)
 			removed = removed || len(row) > 0
@@ -731,6 +1012,7 @@ func (m *DataMatrix) RemoveVM(id int) {
 					}
 					m.pairs--
 					removed = true
+					m.bumpGen(from)
 					continue
 				}
 				row[w] = c
@@ -747,6 +1029,9 @@ func (m *DataMatrix) RemoveVM(id int) {
 			continue
 		}
 		fi++
+	}
+	if removed {
+		m.bumpGen(id)
 	}
 	if removed && removedMax >= m.max {
 		m.max = 0

@@ -1,0 +1,72 @@
+package embed
+
+// Cache retains force state across embedding runs in fast-math mode, so a
+// warm restart (the rolling-horizon engine's epoch boundary, a daemon's
+// steady state) recomputes only the rows whose correlation inputs actually
+// changed. Validity is tracked with the GenField generation counters: a
+// cached value is reused only when every VM it depends on reports the same
+// generation as when it was computed, so reuse is exact — a cache hit
+// returns bit-identical forces to a fresh evaluation.
+//
+// The cache is owned by the caller (the proposed controller holds one per
+// simulation, handed to every Run via Config.Cache) and must not be shared
+// between concurrently running embeddings.
+type Cache struct {
+	// Sampled-mode state: the frozen hashed peer table and the force per
+	// (point, sample), both n x SampleK, plus the generation snapshot they
+	// were computed under. Valid only while the run signature — seed,
+	// SampleK and the exact ids slice — matches, since the hashed peer
+	// indices are a pure function of those.
+	ids  []int
+	seed uint64
+	k    int
+	gens []uint64
+	kj   []int32
+	f    []float64
+
+	// Dense-mode state: the upper-triangle repulsion values of the last
+	// exact-mode build and the generation snapshot they were computed
+	// under, for the same ids-slice signature.
+	denseIDs  []int
+	denseGens []uint64
+	denseRep  []float64
+
+	// Stats accumulates reuse accounting across runs. Counters are updated
+	// serially (validity scans run on the caller's goroutine), so totals
+	// are deterministic at any worker count.
+	Stats CacheStats
+}
+
+// CacheStats counts cache outcomes cumulatively across runs: sampled-mode
+// force rows and dense-mode repulsion pairs, computed fresh versus reused.
+type CacheStats struct {
+	RowsComputed  uint64
+	RowsReused    uint64
+	PairsComputed uint64
+	PairsReused   uint64
+}
+
+// NewCache returns an empty force cache.
+func NewCache() *Cache { return &Cache{} }
+
+// GenField is an optional Field extension exposing per-VM change counters.
+// Generation(id) must move whenever any input that could alter a force
+// involving id changes (its utilization profile, any volume cell touching
+// it); equal generations guarantee equal forces. The fast-math cache
+// requires it — a Field without it disables cross-run reuse.
+type GenField interface {
+	Generation(id int) uint64
+}
+
+// sameIDs reports whether a and b hold the same ids in the same order.
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

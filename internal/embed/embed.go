@@ -107,6 +107,24 @@ type Config struct {
 	// literal equation is recovered.
 	RepulsionScale float64
 	Seed           uint64 // keys deterministic scatter and sampling
+	// FastMath opts into the approximate fast-numeric run modes (default
+	// off — the exact paths are untouched and bit-identical to prior
+	// releases). Above the exact threshold the sampled mode freezes each
+	// point's hashed repulsion peers for the whole run and evaluates their
+	// forces once into a per-run table, so iterations become pure float
+	// arithmetic; at or below the threshold the exact algorithm runs
+	// unchanged but its dense repulsion build may be served from Cache.
+	// Callers pairing this with a correlation field should also enable the
+	// field's quantized kernel (see correlation.ProfileSet.SetFastMath) —
+	// the combination is the documented fast mode with its FastEps error
+	// budget.
+	FastMath bool
+	// Cache, when non-nil and FastMath is set and the Field implements
+	// GenField (and SplitField), retains force state across runs keyed by
+	// generation counters: warm restarts recompute only rows whose inputs
+	// changed. Reuse is exact — hits return bit-identical forces. The
+	// cache must not be shared between concurrent runs.
+	Cache *Cache
 	// Workers optionally lends extra goroutines to the embedding's sharded
 	// passes: the exact mode's dense force-cache build and the sampled
 	// mode's per-point repulsion estimation, both of which write disjoint
@@ -218,6 +236,10 @@ func Run(ids []int, init map[int]Point, field Field, cfg Config) Result {
 		iters, cost := runExact(ids, idx, px, py, field, cfg)
 		return finish(iters, cost)
 	}
+	if cfg.FastMath {
+		iters, cost := runSampledFast(ids, idx, px, py, field, cfg)
+		return finish(iters, cost)
+	}
 	iters, cost := runSampled(ids, idx, px, py, field, cfg)
 	return finish(iters, cost)
 }
@@ -276,13 +298,25 @@ func runExact(ids []int, idx map[int]int, px, py []float64, field Field, cfg Con
 		// (fa + fr, commutative). Rows are sharded in contiguous batches —
 		// each shard writes only its own upper-triangle rows — so the build
 		// is bit-identical to the serial sweep at any worker count.
-		par.For(cfg.Workers, n, exactRowGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				row := ft[i*n+i+1 : i*n+n]
-				sf.RepulsionRow(ids[i], ids[i+1:], row)
-				copy(ftT[i*n+i+1:i*n+n], row)
-			}
-		})
+		gf, hasGen := field.(GenField)
+		if cfg.FastMath && cfg.Cache != nil && hasGen {
+			// Warm restart: serve unchanged repulsion pairs from the
+			// generation-validated cache instead of recomputing them.
+			cfg.Cache.denseBuild(sf, gf, ids, ft, n, cfg.Workers)
+			par.For(cfg.Workers, n, exactRowGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					copy(ftT[i*n+i+1:i*n+n], ft[i*n+i+1:i*n+n])
+				}
+			})
+		} else {
+			par.For(cfg.Workers, n, exactRowGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					row := ft[i*n+i+1 : i*n+n]
+					sf.RepulsionRow(ids[i], ids[i+1:], row)
+					copy(ftT[i*n+i+1:i*n+n], row)
+				}
+			})
+		}
 		sf.EachAttraction(func(onto, by int, fa float64) {
 			i, ok1 := idx[onto]
 			j, ok2 := idx[by]
@@ -402,37 +436,7 @@ func runExact(ids []int, idx map[int]int, px, py []float64, field Field, cfg Con
 func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg Config) (int, []float64) {
 	n := len(ids)
 	sf, _ := field.(SplitField)
-	type apair struct {
-		i, j int
-		fij  float64 // on i by j
-		fji  float64 // on j by i
-	}
-	var apairs []apair
-	// attracted[i] lists the point indices declared as attraction peers of
-	// i (either direction): exactly the pairs PairField's repulsion-only
-	// fast path must not take.
-	attracted := make([][]int32, n)
-	seen := make(map[[2]int]bool)
-	for i, id := range ids {
-		for _, peer := range field.AttractionPeers(id) {
-			j, ok := idx[peer]
-			if !ok || i == j {
-				continue
-			}
-			key := [2]int{min(i, j), max(i, j)}
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			attracted[key[0]] = append(attracted[key[0]], int32(key[1]))
-			attracted[key[1]] = append(attracted[key[1]], int32(key[0]))
-			apairs = append(apairs, apair{
-				i: key[0], j: key[1],
-				fij: field.Force(ids[key[0]], ids[key[1]]),
-				fji: field.Force(ids[key[1]], ids[key[0]]),
-			})
-		}
-	}
+	apairs, attracted := buildAttraction(ids, idx, field)
 	prevD := make([]float64, len(apairs))
 	for k, p := range apairs {
 		dx := px[p.i] - px[p.j]
@@ -585,6 +589,47 @@ func runSampled(ids []int, idx map[int]int, px, py []float64, field Field, cfg C
 		}
 	}
 	return iters, costs
+}
+
+// apair is one exact attraction pair of the sampled modes, with both
+// directed force components.
+type apair struct {
+	i, j int
+	fij  float64 // on i by j
+	fji  float64 // on j by i
+}
+
+// buildAttraction collects the unique attraction pairs with their exact
+// directed forces, plus attracted[i] — the point indices declared as
+// attraction peers of i (either direction): exactly the pairs the
+// repulsion-only fast path must not take. Shared by both sampled modes so
+// the exact-attraction subset is identical between them.
+func buildAttraction(ids []int, idx map[int]int, field Field) ([]apair, [][]int32) {
+	n := len(ids)
+	var apairs []apair
+	attracted := make([][]int32, n)
+	seen := make(map[[2]int]bool)
+	for i, id := range ids {
+		for _, peer := range field.AttractionPeers(id) {
+			j, ok := idx[peer]
+			if !ok || i == j {
+				continue
+			}
+			key := [2]int{min(i, j), max(i, j)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			attracted[key[0]] = append(attracted[key[0]], int32(key[1]))
+			attracted[key[1]] = append(attracted[key[1]], int32(key[0]))
+			apairs = append(apairs, apair{
+				i: key[0], j: key[1],
+				fij: field.Force(ids[key[0]], ids[key[1]]),
+				fji: field.Force(ids[key[1]], ids[key[0]]),
+			})
+		}
+	}
+	return apairs, attracted
 }
 
 // displace applies Eq. 6's 1/2*F*t^2 step with the per-point clamp and the

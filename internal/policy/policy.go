@@ -64,6 +64,12 @@ type Input struct {
 	// shared worker budget here; nil means run serially. Controllers must
 	// produce identical decisions at any worker count.
 	Workers *par.Budget
+
+	// FastMath opts controllers into their approximate fast-numeric paths
+	// (quantized correlation kernel, epoch-amortized embedding caches).
+	// Default off: every controller must be bit-identical to prior releases
+	// when unset. See correlation.FastEps for the per-pair error budget.
+	FastMath bool
 }
 
 // Placement is a global controller's decision: a DC for every active VM and

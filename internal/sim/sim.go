@@ -138,6 +138,10 @@ type Scenario struct {
 	// exceed the configured parallelism; nil runs everything serially.
 	// Results are bit-identical at any worker count.
 	Workers *par.Budget
+	// FastMath opts controllers into their approximate fast-numeric paths
+	// (quantized correlation kernel, epoch-amortized embedding caches);
+	// default off leaves every run bit-identical to prior releases.
+	FastMath bool
 }
 
 func (sc *Scenario) applyDefaults() {
@@ -324,6 +328,7 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		Net:           net,
 		Constraint:    constraint,
 		Workers:       sc.Workers,
+		FastMath:      sc.FastMath,
 	}
 	byDC := make([][]int, n)
 	allocs := make([]allocView, n)

@@ -1,0 +1,134 @@
+// Command benchdiff compares freshly generated benchmark JSON artifacts
+// (BENCH_*.json, written by the bench suite under the GEOVMP_BENCH_*_JSON
+// env vars) against the committed baselines in testdata/bench/ and fails
+// when any throughput metric regressed by more than the threshold.
+//
+// Only throughput fields (*_per_sec) gate: they answer "did this PR make
+// the engine slower", which is what the committed trajectory tracks.
+// Quality fields (costs, migrations, hypervolumes) are pinned exactly by
+// the golden tests instead, and latency-style fields (ns_per_op,
+// boundary_embed_ms) are redundant with their throughput counterparts.
+// Fresh artifacts are allowed to be faster without limit; missing metrics
+// on either side fail loudly so schema drift cannot silently disable the
+// gate.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff.go -baseline testdata/bench -fresh . \
+//	    [-threshold 0.15] [files...]
+//
+// With no file list, every BENCH_*.json present in the baseline directory
+// is compared; a fresh artifact missing for an existing baseline is an
+// error (dropping a benchmark should be an explicit baseline change).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	baselineDir := flag.String("baseline", "testdata/bench", "directory holding committed BENCH_*.json baselines")
+	freshDir := flag.String("fresh", ".", "directory holding freshly generated BENCH_*.json artifacts")
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated relative throughput drop")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		matches, err := filepath.Glob(filepath.Join(*baselineDir, "BENCH_*.json"))
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range matches {
+			files = append(files, filepath.Base(m))
+		}
+		sort.Strings(files)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no BENCH_*.json baselines under %s", *baselineDir))
+	}
+
+	failed := false
+	for _, name := range files {
+		base, err := loadMetrics(filepath.Join(*baselineDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		fresh, err := loadMetrics(filepath.Join(*freshDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		compared := 0
+		for _, key := range sortedKeys(base) {
+			if !strings.HasSuffix(key, "_per_sec") {
+				continue
+			}
+			baseVal := base[key]
+			freshVal, ok := fresh[key]
+			if !ok {
+				fmt.Printf("FAIL %s %s: metric missing from fresh artifact\n", name, key)
+				failed = true
+				continue
+			}
+			compared++
+			if baseVal <= 0 {
+				fmt.Printf("skip %s %s: non-positive baseline %v\n", name, key, baseVal)
+				continue
+			}
+			drop := (baseVal - freshVal) / baseVal
+			status := "ok  "
+			if drop > *threshold {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %s %s: baseline %.4f, fresh %.4f (%+.1f%%)\n",
+				status, name, key, baseVal, freshVal, -drop*100)
+		}
+		if compared == 0 {
+			fmt.Printf("FAIL %s: no *_per_sec throughput metrics in baseline\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Printf("\nthroughput regression beyond %.0f%% (or schema drift); if intentional, regenerate testdata/bench/ baselines\n", *threshold*100)
+		os.Exit(1)
+	}
+}
+
+// loadMetrics flattens one artifact's numeric fields.
+func loadMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	metrics := map[string]float64{}
+	for k, v := range fields {
+		if f, ok := v.(float64); ok {
+			metrics[k] = f
+		}
+	}
+	return metrics, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
