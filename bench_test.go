@@ -621,6 +621,92 @@ func BenchmarkFrontier(b *testing.B) {
 	})
 }
 
+// benchFaultSpec is the survivability benchmark scenario: the geo5dc-faulty
+// preset (reference outage schedule + RS(2,2) storage) reduced to bench
+// size, with the horizon covering the whole-DC outage window and the
+// degraded tail.
+func benchFaultSpec() Spec {
+	spec := MustPreset("geo5dc-faulty")
+	spec.Scale = 0.02
+	spec.Seed = 42
+	spec.Horizon = HoursOf(16)
+	spec.FineStepSec = 300
+	return spec
+}
+
+// BenchmarkFaultSweep measures the fault-and-durability path against the
+// same scenario with fault injection stripped: sub-benchmark "healthy"
+// clears Faults and Storage (the engine takes the exact zero-fault code
+// path), "faulty" runs the reference outage schedule with erasure-coded
+// storage — schedule compilation, per-slot capacity scaling, forced
+// evacuation, repair traffic and loss assessment all on the measured path.
+// Reported: cells per second per variant, plus the faulty variant's
+// survivability shape (loss probability, repair GB, evacuations).
+//
+// When GEOVMP_BENCH_FAULTS_JSON names a path, the faulty variant writes its
+// headline numbers there (CI uploads it as BENCH_faults.json and the
+// benchdiff gate holds cells_per_sec to the committed baseline).
+func BenchmarkFaultSweep(b *testing.B) {
+	run := func(b *testing.B, faulty bool) (cellsPerSec, lossProb, repairGB float64, evacs int) {
+		b.Helper()
+		spec := benchFaultSpec()
+		if !faulty {
+			spec.Faults = FaultConfig{}
+			spec.Storage = StorageConfig{}
+		}
+		for i := 0; i < b.N; i++ {
+			set, err := NewExperiment(
+				WithScenarios(spec),
+				WithPolicies(StandardPolicies(0.9)[:1]...),
+				WithSeeds(2),
+			).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			lossProb, repairGB, evacs = 0, 0, 0
+			for _, r := range set.Results(set.Scenarios[0], "Proposed") {
+				lossProb += r.DataLossProb
+				repairGB += r.RepairBytes.GB()
+				evacs += r.Evacuations
+			}
+			lossProb /= 2
+			cellsPerSec = float64(len(set.Cells)) * float64(b.N) / b.Elapsed().Seconds()
+		}
+		b.ReportMetric(cellsPerSec, "cells/s")
+		if faulty {
+			b.ReportMetric(lossProb, "data-loss-prob")
+			b.ReportMetric(repairGB, "repair-GB")
+			b.ReportMetric(float64(evacs), "evacuations")
+		}
+		return cellsPerSec, lossProb, repairGB, evacs
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, false) })
+	b.Run("faulty", func(b *testing.B) {
+		cellsPerSec, lossProb, repairGB, evacs := run(b, true)
+		path := os.Getenv("GEOVMP_BENCH_FAULTS_JSON")
+		if path == "" || b.N == 0 {
+			return
+		}
+		writeBenchJSON(b, path, struct {
+			Benchmark    string  `json:"benchmark"`
+			N            int     `json:"n"`
+			CellsPerSec  float64 `json:"cells_per_sec"`
+			DataLossProb float64 `json:"data_loss_prob"`
+			RepairGB     float64 `json:"repair_gb"`
+			Evacuations  int     `json:"evacuations"`
+			NsPerOp      float64 `json:"ns_per_op"`
+		}{
+			Benchmark:    "BenchmarkFaultSweep/faulty",
+			N:            b.N,
+			CellsPerSec:  cellsPerSec,
+			DataLossProb: lossProb,
+			RepairGB:     repairGB,
+			Evacuations:  evacs,
+			NsPerOp:      float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+}
+
 // benchLargeSpec is the global-phase stress scenario: the geo5dc-large
 // preset (1800 servers, ~12600 initial VMs — well past the embedding's
 // exact-mode threshold) over a deliberately short horizon, so the benchmark

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast|epochs|frontier]
+//	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast|epochs|frontier|failures]
 //	            [-scale 0.05] [-seed 42] [-seeds 1] [-days 7] [-finestep 60]
 //	            [-par 0] [-out results] [-json results/cells.json]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
@@ -38,7 +38,7 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "all", "experiment: all, figs, table1, fig1..fig6, alpha, noembed, qos, battery, forecast, epochs, frontier")
+	expName  = flag.String("exp", "all", "experiment: all, figs, table1, fig1..fig6, alpha, noembed, qos, battery, forecast, epochs, frontier, failures")
 	scale    = flag.Float64("scale", 0.05, "Table I fleet scale (1.0 = paper)")
 	seed     = flag.Uint64("seed", 42, "experiment seed")
 	days     = flag.Int("days", 7, "horizon in days (paper: 7)")
@@ -159,7 +159,7 @@ func main() {
 	switch *expName {
 	case "all":
 		err = runFigures(ctx, true)
-		for _, ab := range []func(context.Context) error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast, runEpochSweep, runFrontier} {
+		for _, ab := range []func(context.Context) error{runAlphaSweep, runNoEmbed, runQoSSweep, runBatterySweep, runForecast, runEpochSweep, runFrontier, runFailures} {
 			if err != nil {
 				break
 			}
@@ -182,6 +182,8 @@ func main() {
 		err = runEpochSweep(ctx)
 	case "frontier":
 		err = runFrontier(ctx)
+	case "failures":
+		err = runFailures(ctx)
 	default:
 		stopProfiles()
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
@@ -495,6 +497,64 @@ func runFrontier(ctx context.Context) error {
 		fmt.Printf("front SVG written to %s\n", svgPath)
 	}
 	return fs.WriteJSON(filepath.Join(*outDir, "frontier.json"))
+}
+
+// runFailures is ablation A7: durability schemes under the pinned
+// geo5dc-faulty outage schedule (a full-DC blackout, correlated server
+// failures across the surviving sites, a degraded backbone link and a PV
+// dropout, plus the stochastic background rates). The three rows share the
+// exact same world and incident sequence; only the storage layer changes —
+// no durable volumes, 2x replication, and RS(2,2) erasure coding at the
+// same 2.0x capacity overhead — so the loss-probability and repair-traffic
+// columns isolate what the coding scheme buys.
+func runFailures(ctx context.Context) error {
+	fmt.Println("ablation A7: durability schemes under the reference outage schedule")
+	schemes := []struct {
+		name string
+		st   geovmp.StorageConfig
+	}{
+		{"none", geovmp.StorageConfig{}},
+		{"replicated x2", geovmp.StorageConfig{Scheme: geovmp.StorageReplicated, Replicas: 2}},
+		{"erasure RS(2,2)", geovmp.StorageConfig{Scheme: geovmp.StorageErasure, K: 2, M: 2}},
+	}
+	specs := make([]geovmp.Spec, len(schemes))
+	for i, s := range schemes {
+		spec := geovmp.MustPreset("geo5dc-faulty")
+		spec.Name = "faults-" + s.name
+		spec.Scale = *scale
+		spec.Seed = *seed
+		spec.Horizon = geovmp.Days(*days)
+		spec.FineStepSec = *fineStep
+		spec.FastMath = *fastmath
+		spec.Storage = s.st
+		specs[i] = spec
+	}
+	set, err := sweep(ctx,
+		geovmp.WithScenarios(specs...),
+		geovmp.WithPolicies(geovmp.StandardPolicies(*alpha)[:1]...),
+	)
+	if err != nil {
+		return err
+	}
+	fig := &report.Figure{
+		ID:      "ablation-failures",
+		Title:   "Durability under the geo5dc-faulty outage schedule",
+		Headers: []string{"storage", "data-loss prob", "repair (GB)", "evacuations", "stranded slots", "cost (EUR)", "worst resp (s)"},
+	}
+	for si, s := range schemes {
+		r := set.At(si, 0, 0).Result
+		fig.Rows = append(fig.Rows, []string{
+			s.name,
+			fmt.Sprintf("%.4f", r.DataLossProb),
+			fmt.Sprintf("%.1f", r.RepairBytes.GB()),
+			fmt.Sprintf("%d", r.Evacuations),
+			fmt.Sprintf("%d", r.StrandedVMSlots),
+			fmt.Sprintf("%.2f", float64(r.OpCost)),
+			fmt.Sprintf("%.2f", r.RespSummary.Max()),
+		})
+	}
+	fmt.Print(fig.Render())
+	return fig.WriteCSV(*outDir)
 }
 
 // runForecast is ablation A5: renewable forecaster quality, swept on the

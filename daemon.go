@@ -27,6 +27,7 @@
 package geovmp
 
 import (
+	"geovmp/internal/fault"
 	"geovmp/internal/metrics"
 	"geovmp/internal/serve"
 )
@@ -74,7 +75,13 @@ const (
 	EvPlace   = serve.EvPlace
 	EvDepart  = serve.EvDepart
 	EvObserve = serve.EvObserve
+	EvFault   = serve.EvFault
 )
+
+// FaultEvent is one DC availability flip in the daemon's sequenced event
+// log: Down takes the DC out of admission and re-seats its residents at the
+// event's turn; Up restores it.
+type FaultEvent = serve.FaultEvent
 
 // MetricsBoard is the daemon's snapshotable counter/gauge/histogram set,
 // exposed at /metrics.
@@ -119,3 +126,15 @@ func EventsFromWorkload(w Workload, horizon Horizon, samples int) []Event {
 // serving decision path can be scored by sim.Run against the offline
 // controllers (the drift check in examples/serve).
 func ServePolicy(d *Daemon) Policy { return serve.NewSimPolicy(d) }
+
+// EventsWithFaults threads a scenario's compiled fault schedule into an
+// event log: every whole-DC outage transition lands right after its slot's
+// observation, so replaying the merged log exercises the daemon's forced
+// re-placement exactly when the batch simulator would evacuate.
+func EventsWithFaults(events []Event, sc *Scenario, horizon Horizon) []Event {
+	if !sc.Faults.Enabled() {
+		return events
+	}
+	sched := fault.Compile(sc.Faults, len(sc.Fleet), int(horizon.Slots), sc.Seed)
+	return serve.InsertFaults(events, sched.DCTransitions())
+}

@@ -7,8 +7,10 @@ import (
 
 	"geovmp/internal/config"
 	"geovmp/internal/experiment"
+	"geovmp/internal/fault"
 	"geovmp/internal/network"
 	"geovmp/internal/sim"
+	"geovmp/internal/storage"
 	"geovmp/internal/trace"
 )
 
@@ -316,3 +318,52 @@ func WithArrivalWave(a float64) ScenarioOption { return config.WithArrivalWave(a
 // releases. Results remain deterministic at any worker count; metrics
 // shift within the tolerance documented in PERFORMANCE.md.
 func WithFastMath() ScenarioOption { return config.WithFastMath() }
+
+// FaultConfig declares a failure schedule: explicit outage windows plus
+// per-day stochastic rates for server-batch, whole-DC, link and PV
+// failures, compiled deterministically per scenario seed. The zero
+// config disables injection entirely.
+type FaultConfig = fault.Config
+
+// Outage is one explicit failure window inside a FaultConfig.
+type Outage = fault.Outage
+
+// FaultKind discriminates failure targets inside an Outage.
+type FaultKind = fault.Kind
+
+// Failure kinds for explicit outage windows.
+const (
+	FaultServer = fault.KindServer // a fraction of one DC's servers
+	FaultDC     = fault.KindDC     // a whole data center
+	FaultLink   = fault.KindLink   // one directed inter-DC link
+	FaultPV     = fault.KindPV     // one DC's PV production
+)
+
+// StorageConfig declares the durable data-placement model: VM volumes
+// grouped into placement groups kept as full replicas or RS(k,m)
+// stripes across the DCs. Under faults it yields the data-loss-risk and
+// repair-bandwidth metrics.
+type StorageConfig = storage.Config
+
+// StorageScheme selects the redundancy code inside a StorageConfig.
+type StorageScheme = storage.Scheme
+
+// Redundancy schemes.
+const (
+	StorageNone       = storage.SchemeNone
+	StorageReplicated = storage.SchemeReplicated
+	StorageErasure    = storage.SchemeErasure
+)
+
+// WithFaults injects a failure schedule into the scenario. The zero
+// config keeps the run byte-identical to a spec without faults.
+func WithFaults(f FaultConfig) ScenarioOption { return config.WithFaults(f) }
+
+// WithStorage attaches the durable data-placement model.
+func WithStorage(st StorageConfig) ScenarioOption { return config.WithStorage(st) }
+
+// ReferenceFaults is the pinned incident schedule of the geo5dc-faulty
+// preset: a whole-DC outage, degraded fleets at the surviving sites, a
+// link brown-out and a PV dropout, plus mild stochastic background
+// rates. The failure ablation replays it against every storage scheme.
+func ReferenceFaults() FaultConfig { return config.ReferenceFaults() }

@@ -62,6 +62,20 @@ func MigDowntimeObjective() Objective {
 	return Objective{Name: "mig_downtime_s", Of: func(r *Result) float64 { return r.MigDowntimeSec }}
 }
 
+// DataLossObjective measures the storage model's mean per-slot data-loss
+// probability under the run's fault schedule (zero on fault-free runs;
+// see WithFaults / WithStorage).
+func DataLossObjective() Objective {
+	return Objective{Name: "data_loss_prob", Of: func(r *Result) float64 { return r.DataLossProb }}
+}
+
+// RepairBandwidthObjective measures the shard-rebuild traffic pushed
+// through the backbone in GB — the durability tax erasure codes pay on
+// every incident.
+func RepairBandwidthObjective() Objective {
+	return Objective{Name: "repair_gb", Of: func(r *Result) float64 { return r.RepairBytes.GB() }}
+}
+
 // respQuantile is the nearest-rank q-quantile of the response samples.
 func respQuantile(r *Result, q float64) float64 {
 	if len(r.RespSamples) == 0 {

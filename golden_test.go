@@ -130,3 +130,78 @@ func firstDiff(got, want []byte) string {
 	}
 	return fmt.Sprintf("length %d vs %d (common prefix identical)", len(got), len(want))
 }
+
+// goldenFaultyPath pins the survivability surface: the geo5dc-faulty preset
+// (reference outage schedule + erasure-coded storage) under the standard
+// policies. Separate from golden_sweep.json so zero-fault scenarios keep
+// their byte-identical history. Regenerate with:
+//
+//	GEOVMP_UPDATE_GOLDEN=1 go test -run TestGoldenFaulty .
+const goldenFaultyPath = "testdata/golden_faulty.json"
+
+func goldenFaultyGrid() *Experiment {
+	faulty := MustPreset("geo5dc-faulty")
+	faulty.Scale = 0.01
+	faulty.Seed = 13
+	faulty.Horizon = HoursOf(16)
+	faulty.FineStepSec = 300
+
+	return NewExperiment(
+		WithScenarios(faulty),
+		WithPolicies(StandardPolicies(0.9)...),
+		WithSeeds(2),
+	)
+}
+
+// TestGoldenFaulty is the fault-path golden: the faulty grid's ResultSet
+// JSON must match the committed file bit for bit, and the grid must
+// actually exercise the survivability surface (loss risk, repair traffic,
+// evacuations) so the golden cannot silently degenerate into a healthy run.
+func TestGoldenFaulty(t *testing.T) {
+	set, err := goldenFaultyGrid().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(js, '\n')
+
+	covered := false
+	for pi := range set.Policies {
+		for ki := range set.SeedOffsets {
+			r := set.At(0, pi, ki).Result
+			if r == nil {
+				t.Fatalf("faulty cell (%d,%d) missing", pi, ki)
+			}
+			if r.DataLossProb > 0 && r.RepairBytes > 0 &&
+				r.Evacuations+r.StrandedVMSlots > 0 {
+				covered = true
+			}
+		}
+	}
+	if !covered {
+		t.Fatal("no cell shows loss risk, repair traffic and evacuations: the golden no longer covers the fault path")
+	}
+
+	if os.Getenv("GEOVMP_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenFaultyPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFaultyPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", goldenFaultyPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenFaultyPath)
+	if err != nil {
+		t.Fatalf("no golden file (%v); generate one with GEOVMP_UPDATE_GOLDEN=1 go test -run TestGoldenFaulty .", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ResultSet JSON drifted from %s at %s.\nIf the change is intentional, regenerate with GEOVMP_UPDATE_GOLDEN=1 and commit the diff.",
+			goldenFaultyPath, firstDiff(got, want))
+	}
+}

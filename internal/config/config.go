@@ -16,12 +16,14 @@ import (
 	"geovmp/internal/battery"
 	"geovmp/internal/cooling"
 	"geovmp/internal/dc"
+	"geovmp/internal/fault"
 	"geovmp/internal/green"
 	"geovmp/internal/network"
 	"geovmp/internal/par"
 	"geovmp/internal/power"
 	"geovmp/internal/sim"
 	"geovmp/internal/solar"
+	"geovmp/internal/storage"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/trace"
 	"geovmp/internal/units"
@@ -119,6 +121,15 @@ type Spec struct {
 	// per-pair kernel error is bounded by correlation.FastEps; see
 	// PERFORMANCE.md for the end-to-end metric tolerance.
 	FastMath bool
+	// Faults injects a deterministic failure schedule (internal/fault):
+	// explicit outage windows plus per-day stochastic rates for server,
+	// DC, link and PV failures. The zero config disables injection and
+	// keeps every run byte-identical to a spec without the field.
+	Faults fault.Config
+	// Storage attaches the replicated / erasure-coded data-placement
+	// model (internal/storage), adding data-loss risk and repair-traffic
+	// accounting to faulty runs. The zero config disables it.
+	Storage storage.Config
 }
 
 // DefaultScenarioName labels unnamed specs: the paper's Table I world.
@@ -216,6 +227,12 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if err := s.Faults.Validate(len(sites)); err != nil {
+		return err
+	}
+	if err := s.Storage.Validate(len(sites)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -291,6 +308,8 @@ func Build(spec Spec) (*sim.Scenario, error) {
 		Epochs:         spec.Epochs,
 		Migration:      spec.Migration,
 		FastMath:       spec.FastMath,
+		Faults:         spec.Faults,
+		Storage:        spec.Storage,
 	}, nil
 }
 

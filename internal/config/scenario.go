@@ -6,10 +6,12 @@ import (
 	"sort"
 
 	"geovmp/internal/cooling"
+	"geovmp/internal/fault"
 	"geovmp/internal/network"
 	"geovmp/internal/price"
 	"geovmp/internal/sim"
 	"geovmp/internal/solar"
+	"geovmp/internal/storage"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/trace"
 	"geovmp/internal/units"
@@ -268,6 +270,44 @@ func WithEpochClassWeights(rows ...[]float64) Option {
 // amplitude a in [0, 1).
 func WithArrivalWave(a float64) Option { return func(s *Spec) { s.ArrivalWave = a } }
 
+// WithFaults injects a failure schedule: explicit outage windows plus
+// per-day stochastic failure rates, compiled deterministically per
+// scenario seed. The zero config keeps the run byte-identical to a spec
+// without faults.
+func WithFaults(f fault.Config) Option { return func(s *Spec) { s.Faults = f } }
+
+// WithStorage attaches the replicated / erasure-coded data-placement
+// model, adding data-loss risk and repair-traffic accounting under
+// faults.
+func WithStorage(st storage.Config) Option { return func(s *Spec) { s.Storage = st } }
+
+// ReferenceFaults is the pinned outage schedule of the geo5dc-faulty
+// preset, shared by the failure ablation and the acceptance tests so
+// every storage scheme faces the identical incident: a three-hour
+// whole-DC outage at Milan, degraded server fleets at the four
+// surviving sites for the surrounding eight hours, a Lisbon→Helsinki
+// link brown-out and a Lisbon PV dropout — plus mild stochastic
+// background failure rates for longer horizons. The explicit windows
+// start after the default six warmup slots so short measured runs see
+// them.
+func ReferenceFaults() fault.Config {
+	return fault.Config{
+		Outages: []fault.Outage{
+			{Kind: fault.KindDC, DC: 4, Start: 6, Slots: 3},
+			{Kind: fault.KindServer, DC: 0, Start: 5, Slots: 8, Frac: 0.20},
+			{Kind: fault.KindServer, DC: 1, Start: 5, Slots: 8, Frac: 0.25},
+			{Kind: fault.KindServer, DC: 2, Start: 5, Slots: 8, Frac: 0.20},
+			{Kind: fault.KindServer, DC: 3, Start: 5, Slots: 8, Frac: 0.15},
+			{Kind: fault.KindLink, DC: 0, To: 2, Start: 7, Slots: 2, Frac: 0.05},
+			{Kind: fault.KindPV, DC: 0, Start: 8, Slots: 4, Frac: 1},
+		},
+		ServerFailRatePerDay: 0.3,
+		LinkFailRatePerDay:   0.1,
+		PVDropRatePerDay:     0.2,
+		MeanRepairSlots:      3,
+	}
+}
+
 // presetBuilders registers the named scenario presets.
 var presetBuilders = map[string]func() Spec{
 	// The paper's Sect. V world: Table I fleet, WCMA forecasting, one week.
@@ -299,24 +339,47 @@ var presetBuilders = map[string]func() Spec{
 			EpochClassWeights: diurnalWeights(7),
 		}
 	},
+	// The five-site dynamic fleet under the reference incident schedule
+	// (ReferenceFaults) with erasure-coded RS(2,2) volumes — the
+	// fault-and-durability subsystem's evaluation scenario: forced
+	// evacuations, stranded-VM downtime, repair traffic competing with
+	// user traffic, and a data-loss-risk signal the storage ablation
+	// compares across schemes.
+	"geo5dc-faulty": func() Spec {
+		return Spec{
+			Name:              "geo5dc-faulty",
+			Sites:             geo5dcSites(),
+			Epochs:            4,
+			ArrivalWave:       0.3,
+			EpochClassWeights: dynamicMixWeights(),
+			Faults:            ReferenceFaults(),
+			Storage:           storage.Config{Scheme: storage.SchemeErasure, K: 2, M: 2},
+		}
+	},
 	// The five-site fleet under a four-regime dynamic workload: the class
 	// mix walks from websearch-heavy through mapreduce- and HPC-heavy to
 	// batch-heavy across the week's four epochs, with waving arrivals —
 	// the rolling-horizon engine's primary evaluation scenario.
 	"geo5dc-dynamic": func() Spec {
 		return Spec{
-			Name:        "geo5dc-dynamic",
-			Sites:       geo5dcSites(),
-			Epochs:      4,
-			ArrivalWave: 0.3,
-			EpochClassWeights: [][]float64{
-				{0.55, 0.20, 0.15, 0.10}, // interactive-heavy
-				{0.25, 0.45, 0.15, 0.15}, // mapreduce-heavy
-				{0.15, 0.20, 0.50, 0.15}, // hpc-heavy
-				{0.15, 0.15, 0.15, 0.55}, // batch-heavy
-			},
+			Name:              "geo5dc-dynamic",
+			Sites:             geo5dcSites(),
+			Epochs:            4,
+			ArrivalWave:       0.3,
+			EpochClassWeights: dynamicMixWeights(),
 		}
 	},
+}
+
+// dynamicMixWeights is the four-regime class-mix walk shared by the
+// geo5dc-dynamic and geo5dc-faulty presets.
+func dynamicMixWeights() [][]float64 {
+	return [][]float64{
+		{0.55, 0.20, 0.15, 0.10}, // interactive-heavy
+		{0.25, 0.45, 0.15, 0.15}, // mapreduce-heavy
+		{0.15, 0.20, 0.50, 0.15}, // hpc-heavy
+		{0.15, 0.15, 0.15, 0.55}, // batch-heavy
+	}
 }
 
 // diurnalWeights builds the geo3dc-diurnal mix schedule: odd days lean

@@ -271,6 +271,10 @@ type cellJSON struct {
 	CrossGB           float64     `json:"cross_gb"`
 	MigEnergyKWh      float64     `json:"mig_energy_kwh,omitempty"`
 	MigDowntimeS      float64     `json:"mig_downtime_s,omitempty"`
+	Evacuations       int         `json:"evacuations,omitempty"`
+	StrandedVMSlots   int         `json:"stranded_vm_slots,omitempty"`
+	RepairGB          float64     `json:"repair_gb,omitempty"`
+	DataLossProb      float64     `json:"data_loss_prob,omitempty"`
 	Epochs            []epochJSON `json:"epochs,omitempty"`
 }
 
@@ -333,6 +337,10 @@ func (s *Set) JSON() ([]byte, error) {
 			row.CrossGB = r.CrossBytes.GB()
 			row.MigEnergyKWh = r.MigEnergy.KWh()
 			row.MigDowntimeS = r.MigDowntimeSec
+			row.Evacuations = r.Evacuations
+			row.StrandedVMSlots = r.StrandedVMSlots
+			row.RepairGB = r.RepairBytes.GB()
+			row.DataLossProb = r.DataLossProb
 			for _, es := range r.Epochs {
 				row.Epochs = append(row.Epochs, epochJSON{
 					Epoch:        es.Epoch,

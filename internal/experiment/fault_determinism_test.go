@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"geovmp/internal/config"
+	"geovmp/internal/core"
+	"geovmp/internal/policy"
+	"geovmp/internal/timeutil"
+)
+
+// TestFaultEngineDeterministic extends the sharding guarantee to the fault
+// path: a geo5dc-faulty grid — compiled outage schedule, per-slot capacity
+// scaling, forced evacuation through migrate.Run, repair traffic into the
+// volume matrix, downtime accrual — must produce byte-identical ResultSet
+// JSON at Parallelism 1, 2 and GOMAXPROCS+6. The CI race job runs this
+// package, so the fault hooks also get the race detector.
+func TestFaultEngineDeterministic(t *testing.T) {
+	spec, err := config.Preset("geo5dc-faulty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = 0.02
+	spec.Seed = 29
+	spec.Horizon = timeutil.Hours(16) // covers the reference DC outage and the degraded tail
+	spec.FineStepSec = 600
+	grid := func(parallelism int) Grid {
+		return Grid{
+			Scenarios: []config.Spec{spec},
+			Policies: []PolicySpec{
+				{Name: "Proposed", New: func(seed uint64) policy.Policy { return core.New(0.9, seed) }},
+				{Name: "Ener-aware", New: func(uint64) policy.Policy { return policy.EnerAware{} }},
+			},
+			SeedOffsets: []uint64{0, 1},
+			Parallelism: parallelism,
+		}
+	}
+	base, err := Run(context.Background(), grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial baseline must itself exercise the fault machinery.
+	if r := base.At(0, 0, 0).Result; r == nil ||
+		r.DataLossProb <= 0 || r.RepairBytes <= 0 || r.Evacuations+r.StrandedVMSlots == 0 {
+		t.Fatalf("baseline cell does not exercise the fault path: %+v", base.At(0, 0, 0))
+	}
+	for _, p := range []int{2, runtime.GOMAXPROCS(0) + 6} {
+		set, err := Run(context.Background(), grid(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, set) {
+			t.Fatalf("Parallelism=%d: faulty ResultSet differs from serial run", p)
+		}
+		js, err := set.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(baseJSON, js) {
+			t.Fatalf("Parallelism=%d: JSON export differs from serial run", p)
+		}
+	}
+}

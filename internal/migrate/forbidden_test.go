@@ -1,0 +1,105 @@
+package migrate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"geovmp/internal/units"
+)
+
+func TestForbiddenDestinationsRejectMoves(t *testing.T) {
+	// Two residents want DC2; it is forbidden, so both wishes are
+	// rejected and the VMs stay put.
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 2, Load: 5, Image: units.Gigabyte, Dist: 1},
+		{ID: 2, Current: 1, Target: 2, Load: 5, Image: units.Gigabyte, Dist: 2},
+	}
+	cfg := cfg3([]float64{10, 10, 10}, []float64{5, 5, 0}, 1000, fakeNet{secPerGB: 1})
+	cfg.Forbidden = []bool{false, false, true}
+	res := Run(cands, cfg)
+	if res.Placement[1] != 0 || res.Placement[2] != 1 {
+		t.Fatalf("placement crossed into forbidden DC: %v", res.Placement)
+	}
+	if len(res.Moves) != 0 || res.Rejected != 2 {
+		t.Fatalf("moves=%d rejected=%d, want 0/2", len(res.Moves), res.Rejected)
+	}
+}
+
+func TestForbiddenSparesAllowedMoves(t *testing.T) {
+	// Identical wish toward DC1 passes while DC2 stays closed.
+	cands := []Candidate{
+		{ID: 1, Current: 0, Target: 1, Load: 5, Image: units.Gigabyte, Dist: 1},
+		{ID: 2, Current: 0, Target: 2, Load: 5, Image: units.Gigabyte, Dist: 1},
+	}
+	cfg := cfg3([]float64{10, 10, 10}, []float64{10, 0, 0}, 1000, fakeNet{secPerGB: 1})
+	cfg.Forbidden = []bool{false, false, true}
+	res := Run(cands, cfg)
+	if res.Placement[1] != 1 {
+		t.Fatalf("allowed move did not execute: %v", res.Placement)
+	}
+	if res.Placement[2] != 0 || res.Rejected != 1 {
+		t.Fatalf("forbidden move executed: %v (rejected=%d)", res.Placement, res.Rejected)
+	}
+}
+
+func TestForbiddenDoesNotGateNewVMs(t *testing.T) {
+	// A new VM's target is taken unconditionally even when forbidden —
+	// keeping arrivals off dead DCs is the caller's job.
+	cands := []Candidate{{ID: 9, Current: -1, Target: 2, Load: 1}}
+	cfg := cfg3([]float64{10, 10, 10}, []float64{0, 0, 0}, 1000, fakeNet{secPerGB: 1})
+	cfg.Forbidden = []bool{false, false, true}
+	res := Run(cands, cfg)
+	if res.Placement[9] != 2 {
+		t.Fatalf("new VM placement gated by Forbidden: %v", res.Placement)
+	}
+}
+
+// TestMultiSourceDrainDeterminism pins the candidate-ordering guarantee the
+// fault engine's evacuation relies on: when several over-cap sources drain
+// at once (the multi-DC outage case), the executed plan is a pure function
+// of the candidate *set* — any input permutation yields identical moves,
+// placements and rejections.
+func TestMultiSourceDrainDeterminism(t *testing.T) {
+	// DCs 0 and 1 both over cap (draining), DCs 2..4 open. Ties in Dist
+	// are deliberate: determinism must come from the id tie-break.
+	base := []Candidate{
+		{ID: 1, Current: 0, Target: 2, Load: 4, Image: units.Gigabyte, Dist: 3},
+		{ID: 2, Current: 0, Target: 3, Load: 4, Image: units.Gigabyte, Dist: 3},
+		{ID: 3, Current: 0, Target: 2, Load: 4, Image: units.Gigabyte, Dist: 1},
+		{ID: 4, Current: 1, Target: 3, Load: 4, Image: units.Gigabyte, Dist: 2},
+		{ID: 5, Current: 1, Target: 4, Load: 4, Image: units.Gigabyte, Dist: 2},
+		{ID: 6, Current: 1, Target: 2, Load: 4, Image: units.Gigabyte, Dist: 5},
+		{ID: 7, Current: 2, Target: 2, Load: 2},
+		{ID: 8, Current: -1, Target: 4, Load: 2},
+	}
+	cfg := Config{
+		NDC:        5,
+		Caps:       []float64{1, 1, 20, 20, 20},
+		Loads:      []float64{12, 12, 2, 0, 0},
+		Constraint: 500,
+		Net:        fakeNet{secPerGB: 1},
+	}
+	ref := Run(append([]Candidate(nil), base...), cfg)
+	if len(ref.Moves) == 0 {
+		t.Fatal("reference plan executed no moves; test is vacuous")
+	}
+
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		perm := make([]Candidate, len(base))
+		for i, j := range r.Perm(len(base)) {
+			perm[i] = base[j]
+		}
+		got := Run(perm, cfg)
+		if !reflect.DeepEqual(got.Placement, ref.Placement) {
+			t.Fatalf("trial %d: placement diverged:\n%v\nvs\n%v", trial, got.Placement, ref.Placement)
+		}
+		if !reflect.DeepEqual(got.Moves, ref.Moves) {
+			t.Fatalf("trial %d: move order diverged:\n%v\nvs\n%v", trial, got.Moves, ref.Moves)
+		}
+		if got.Rejected != ref.Rejected {
+			t.Fatalf("trial %d: rejected %d vs %d", trial, got.Rejected, ref.Rejected)
+		}
+	}
+}

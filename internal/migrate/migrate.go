@@ -52,6 +52,12 @@ type Config struct {
 	// rejected), and a negative value rejects every wish — the
 	// rolling-horizon engine's "budget exhausted" state.
 	MaxMoves int
+	// Forbidden marks DCs no move may target (nil allows all): the fault
+	// engine's evacuation path forbids the dead DCs. A wish whose Target
+	// is forbidden is rejected; a new VM (Current < 0) still takes its
+	// target unconditionally — keeping arrivals off dead DCs is the
+	// caller's job, since it decided the targets.
+	Forbidden []bool
 }
 
 // Move records one executed migration.
@@ -156,6 +162,9 @@ func Run(cands []Candidate, cfg Config) Result {
 	// moving c from->to, given the budget already burned on that link pair.
 	feasible := func(c *Candidate, from, to int) (float64, bool) {
 		if cfg.MaxMoves < 0 || (cfg.MaxMoves > 0 && len(res.Moves) >= cfg.MaxMoves) {
+			return 0, false
+		}
+		if cfg.Forbidden != nil && to >= 0 && to < len(cfg.Forbidden) && cfg.Forbidden[to] {
 			return 0, false
 		}
 		t := cfg.Net.MigrationTime(from, to, c.Image)

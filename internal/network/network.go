@@ -166,6 +166,11 @@ type State struct {
 	// per-step redraw in Algorithm 1 jitters around the distribution but the
 	// base draw keeps slots distinguishable (good and bad network hours).
 	berBase [][]float64
+	// degrade[i][j], when set, multiplies link i->j's effective backbone
+	// bandwidth — the fault schedule's partitions and degradations. Nil
+	// (the healthy state) leaves the latency arithmetic untouched, so
+	// fault-free runs stay bit-identical to builds without the field.
+	degrade [][]float64
 }
 
 // NewState creates link state over topo driven by src.
@@ -193,6 +198,11 @@ func (s *State) Reroll() {
 
 // BER returns the current base BER of link i->j.
 func (s *State) BER(i, j int) float64 { return s.berBase[i][j] }
+
+// SetDegrade installs per-link bandwidth factors for the current slot
+// (fault-schedule partitions/degradations); nil restores the healthy
+// state. Factors must be positive; the matrix is read, not copied.
+func (s *State) SetDegrade(f [][]float64) { s.degrade = f }
 
 // Topology returns the static topology.
 func (s *State) Topology() *Topology { return s.topo }
@@ -222,6 +232,9 @@ func (s *State) DataLatency(i, j int, vol units.DataSize) float64 {
 	}
 	const maxSteps = 4096
 	bbb := s.topo.Backbone.BytesPerSecond()
+	if s.degrade != nil {
+		bbb *= s.degrade[i][j]
+	}
 	remaining := vol.Bytes()
 	le := 0.0
 	for step := 0; step < maxSteps; step++ {

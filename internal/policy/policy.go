@@ -58,6 +58,14 @@ type Input struct {
 	Net        *network.State
 	Constraint float64 // migration latency budget per link pair, seconds
 
+	// Health, when fault injection is active, gives each DC's remaining
+	// capacity fraction this slot: 1 healthy, 0 fully down. Nil on
+	// fault-free runs. Policies need not read it — the engine already
+	// scales each DC's Servers to the surviving count, which every
+	// capacity-sizing path picks up — but health-aware controllers can
+	// use it to bias placement away from degraded sites.
+	Health []float64
+
 	// Workers optionally lends the controller extra goroutines for its
 	// internal sharded passes (the proposed controller shards its embedding
 	// and clustering with it). The experiment engine supplies the sweep's

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -77,7 +79,9 @@ type healthResponse struct {
 //	GET  /healthz     liveness + SLO snapshot
 //
 // Saturation of the bounded admission queue answers 429 with Retry-After;
-// a draining daemon answers 503.
+// a draining daemon answers 503. Every request additionally runs under
+// Options.RequestTimeout: a request that misses the deadline is answered
+// 503 + Retry-After and counted on serve_deadline_total.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", d.handlePlace)
@@ -86,7 +90,72 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/drain", d.handleDrain)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
-	return mux
+	if d.opt.RequestTimeout <= 0 {
+		return mux
+	}
+	return d.withDeadline(mux)
+}
+
+// withDeadline bounds each request's handling time. The wrapped handler
+// runs against a buffered recorder on its own goroutine; if the deadline
+// fires first the client gets 503 + Retry-After immediately, and the
+// stale response is discarded when the handler eventually finishes (the
+// daemon's own state commit is unaffected — only the reply is dropped).
+func (d *Daemon) withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d.opt.RequestTimeout)
+		defer cancel()
+		rec := &bufferedResponse{header: make(http.Header)}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			next.ServeHTTP(rec, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			rec.flush(w)
+		case <-ctx.Done():
+			d.mDeadlines.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "serve: request deadline exceeded", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// bufferedResponse captures a handler's reply so the deadline path never
+// races the handler over the real ResponseWriter.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	w.WriteHeader(b.code)
+	w.Write(b.body.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

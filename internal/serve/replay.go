@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"geovmp/internal/fault"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/trace"
 )
@@ -16,14 +17,25 @@ const (
 	EvPlace EventKind = iota
 	EvDepart
 	EvObserve
+	EvFault
 )
+
+// FaultEvent is one DC availability flip in the sequenced event log: the
+// serving-side mirror of a fault.Schedule DC transition. Down marks the DC
+// unavailable for admissions and forces its residents to re-place at the
+// event's turn; Up restores it.
+type FaultEvent struct {
+	DC   int
+	Down bool
+}
 
 // Event is one entry of a replayable operation log.
 type Event struct {
-	Kind EventKind
-	VM   VM          // EvPlace
-	ID   int         // EvDepart
-	Obs  Observation // EvObserve
+	Kind  EventKind
+	VM    VM          // EvPlace
+	ID    int         // EvDepart
+	Obs   Observation // EvObserve
+	Fault FaultEvent  // EvFault
 }
 
 // Replay feeds an operation log through the daemon with the given worker
@@ -66,6 +78,8 @@ func (d *Daemon) Replay(events []Event, workers int) []Decision {
 					d.departAt(seq, ev.ID)
 				case EvObserve:
 					d.observeAt(seq, ev.Obs)
+				case EvFault:
+					d.faultAt(seq, ev.Fault.DC, ev.Fault.Down)
 				}
 			}
 		}()
@@ -109,4 +123,33 @@ func EventsFromTrace(src trace.Source, slots timeutil.Slot, samples int) []Event
 		}
 	}
 	return events
+}
+
+// InsertFaults threads a compiled fault schedule's DC transitions into an
+// event log produced by EventsFromTrace: each transition lands immediately
+// after its slot's observation event, so replaying the merged log sees the
+// same outage timing the batch simulator applies at the top of each slot.
+// Transitions past the log's horizon are appended at the end.
+func InsertFaults(events []Event, trans []fault.Transition) []Event {
+	if len(trans) == 0 {
+		return events
+	}
+	out := make([]Event, 0, len(events)+len(trans))
+	ti := 0
+	for _, ev := range events {
+		out = append(out, ev)
+		if ev.Kind != EvObserve {
+			continue
+		}
+		for ti < len(trans) && trans[ti].Slot <= ev.Obs.Slot {
+			out = append(out, Event{Kind: EvFault,
+				Fault: FaultEvent{DC: trans[ti].DC, Down: trans[ti].Down}})
+			ti++
+		}
+	}
+	for ; ti < len(trans); ti++ {
+		out = append(out, Event{Kind: EvFault,
+			Fault: FaultEvent{DC: trans[ti].DC, Down: trans[ti].Down}})
+	}
+	return out
 }

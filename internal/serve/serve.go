@@ -129,6 +129,10 @@ type Options struct {
 	Workers int
 	// Seed keys every deterministic scatter and sampling choice.
 	Seed uint64
+	// RequestTimeout bounds each HTTP request's wall-clock handling time;
+	// a request that misses its deadline is answered 503 + Retry-After and
+	// counted on serve_deadline_total (default 5s; negative disables).
+	RequestTimeout time.Duration
 	// Board receives operational metrics (a fresh board when nil).
 	Board *metrics.Board
 }
@@ -171,6 +175,12 @@ func (o *Options) applyDefaults() {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	switch {
+	case o.RequestTimeout == 0:
+		o.RequestTimeout = 5 * time.Second
+	case o.RequestTimeout < 0:
+		o.RequestTimeout = 0
+	}
 	if o.Board == nil {
 		o.Board = metrics.NewBoard()
 	}
@@ -203,7 +213,7 @@ type Daemon struct {
 
 	mPlacements, mDepartures, mOverflows *metrics.Counter
 	mObservations, mReconciles           *metrics.Counter
-	mRejections                          *metrics.Counter
+	mRejections, mFaults, mDeadlines     *metrics.Counter
 	mQueue                               *metrics.Gauge
 	mLat                                 *metrics.LatencyHist
 }
@@ -227,6 +237,8 @@ func New(opt Options) (*Daemon, error) {
 	d.mObservations = b.Counter("serve_observations_total")
 	d.mReconciles = b.Counter("serve_reconciles_total")
 	d.mRejections = b.Counter("serve_rejections_total")
+	d.mFaults = b.Counter("serve_faults_total")
+	d.mDeadlines = b.Counter("serve_deadline_total")
 	d.mQueue = b.Gauge("serve_queue_depth")
 	d.mLat = b.Hist("serve_decision_latency")
 	return d, nil
@@ -331,6 +343,22 @@ func (d *Daemon) Observe(o Observation) error {
 	return nil
 }
 
+// Fault flips one DC's availability in the admission sequence: a down DC
+// stops accepting placements and its residents are re-seated onto healthy
+// DCs (ascending id, least-loaded first) within the event's turn, so the
+// decision stream stays a pure function of the event log. It returns the
+// re-placed VM ids. Flipping a DC to its current state is a no-op.
+func (d *Daemon) Fault(dcI int, down bool) ([]int, error) {
+	if d.draining.Load() {
+		return nil, ErrDraining
+	}
+	if !d.admit() {
+		return nil, ErrQueueFull
+	}
+	defer d.release()
+	return d.faultAt(d.take(), dcI, down), nil
+}
+
 // Drain stops admitting new operations and blocks until every in-flight
 // operation has committed. Safe to call more than once.
 func (d *Daemon) Drain() {
@@ -398,6 +426,18 @@ func (d *Daemon) departAt(seq uint64, id int) bool {
 	return ok
 }
 
+func (d *Daemon) faultAt(seq uint64, dcI int, down bool) []int {
+	d.waitTurn(seq)
+	d.mu.Lock()
+	d.landDue(seq)
+	moved := d.st.setFault(dcI, down)
+	d.maybeTrigger(seq)
+	d.mu.Unlock()
+	d.finishTurn(seq)
+	d.mFaults.Inc()
+	return moved
+}
+
 func (d *Daemon) observeAt(seq uint64, o Observation) {
 	d.waitTurn(seq)
 	d.mu.Lock()
@@ -447,6 +487,19 @@ func (d *Daemon) Residents() []int {
 	d.mu.RUnlock()
 	sortInts(ids)
 	return ids
+}
+
+// DownDCs returns the DCs currently marked unavailable, ascending.
+func (d *Daemon) DownDCs() []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []int
+	for i, dn := range d.st.dcDown {
+		if dn {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // NumResidents returns the resident VM count.

@@ -42,6 +42,10 @@ type state struct {
 	active []int
 	actPos map[int]int // id -> index in active
 
+	// dcDown marks DCs taken out by fault events: no admissions, and
+	// residents are re-seated onto healthy DCs at the fault's turn.
+	dcDown []bool
+
 	// Per-slot tariff snapshot for the energy score term.
 	prices   []units.Price
 	maxPrice units.Price
@@ -62,6 +66,7 @@ func newState(opt *Options) *state {
 		srvOf:    make(map[int]int),
 		packs:    make([]*alloc.Tracker, n),
 		actPos:   make(map[int]int),
+		dcDown:   make([]bool, n),
 		prices:   make([]units.Price, n),
 	}
 	for i, d := range opt.Fleet {
@@ -128,18 +133,15 @@ func (s *state) prepare(vm *VM) (candidate, error) {
 	feas := make([]bool, n)
 	anyFit := false
 	for i, tr := range s.packs {
+		if s.dcDown[i] {
+			continue // a down DC admits nothing
+		}
 		srv, _, ok := tr.Probe(prof)
 		srvs[i], feas[i] = srv, ok
 		anyFit = anyFit || ok
 	}
 	if !anyFit {
-		best := 0
-		bu := s.packs[0].UsedFrac()
-		for i := 1; i < n; i++ {
-			if u := s.packs[i].UsedFrac(); u < bu {
-				best, bu = i, u
-			}
-		}
+		best := s.leastLoadedUp()
 		return candidate{dc: best, srv: s.packs[best].Overflow(), prof: prof, seed: seed, overflowed: true}, nil
 	}
 
@@ -183,6 +185,107 @@ func (s *state) prepare(vm *VM) (candidate, error) {
 		}
 	}
 	return candidate{dc: best, srv: srvs[best], prof: prof, seed: seed}, nil
+}
+
+// leastLoadedUp picks the least-loaded healthy DC (smallest index on ties);
+// with the whole fleet down it degrades to the least-loaded DC overall so an
+// arrival always has a seat to overflow onto.
+func (s *state) leastLoadedUp() int {
+	best := -1
+	var bu float64
+	for i := range s.packs {
+		if s.dcDown[i] {
+			continue
+		}
+		if u := s.packs[i].UsedFrac(); best < 0 || u < bu {
+			best, bu = i, u
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best = 0
+	bu = s.packs[0].UsedFrac()
+	for i := 1; i < len(s.packs); i++ {
+		if u := s.packs[i].UsedFrac(); u < bu {
+			best, bu = i, u
+		}
+	}
+	return best
+}
+
+// setFault flips one DC's availability. Taking a DC down re-seats its
+// residents in ascending-id order onto the least-loaded healthy DC that
+// fits them (overflowing when none does), keeping the correlation state and
+// embedding positions intact — only residency and packing move. The
+// returned slice lists the re-placed ids.
+func (s *state) setFault(dcI int, down bool) []int {
+	if dcI < 0 || dcI >= len(s.packs) || s.dcDown[dcI] == down {
+		return nil
+	}
+	s.dcDown[dcI] = down
+	s.gen++
+	if !down {
+		return nil
+	}
+	var ids []int
+	for id, d := range s.dcOf {
+		if d == dcI {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s.reseat(id)
+	}
+	return ids
+}
+
+// reseat moves one resident off its (down) DC: detach from the packer and
+// centroid accumulators, then re-admit through the probe path restricted to
+// healthy DCs. With the whole fleet down the VM stays stranded in place.
+func (s *state) reseat(id int) {
+	from := s.dcOf[id]
+	anyUp := false
+	for i := range s.packs {
+		if !s.dcDown[i] {
+			anyUp = true
+			break
+		}
+	}
+	if !anyUp {
+		return
+	}
+	srv := s.srvOf[id]
+	s.packs[from].Remove(srv, id, s.ps.Profile)
+	prof := s.ps.Profile(id)
+
+	to, tsrv := -1, 0
+	var bu float64
+	for i, tr := range s.packs {
+		if s.dcDown[i] {
+			continue
+		}
+		if sv, _, ok := tr.Probe(prof); ok {
+			if u := tr.UsedFrac(); to < 0 || u < bu {
+				to, tsrv, bu = i, sv, u
+			}
+		}
+	}
+	if to < 0 {
+		to = s.leastLoadedUp()
+		tsrv = s.packs[to].Overflow()
+	}
+	s.packs[to].Commit(tsrv, id, prof)
+	s.dcOf[id] = to
+	s.srvOf[id] = tsrv
+	p := s.pos[id]
+	s.posSum[from].X -= p.X
+	s.posSum[from].Y -= p.Y
+	s.resCount[from]--
+	s.posSum[to].X += p.X
+	s.posSum[to].Y += p.Y
+	s.resCount[to]++
 }
 
 // corrSampleCap bounds the residents examined by the per-server correlation

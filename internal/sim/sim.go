@@ -31,11 +31,13 @@ import (
 	"geovmp/internal/alloc"
 	"geovmp/internal/correlation"
 	"geovmp/internal/dc"
+	"geovmp/internal/fault"
 	"geovmp/internal/metrics"
 	"geovmp/internal/network"
 	"geovmp/internal/par"
 	"geovmp/internal/policy"
 	"geovmp/internal/rng"
+	"geovmp/internal/storage"
 	"geovmp/internal/timeutil"
 	"geovmp/internal/trace"
 	"geovmp/internal/units"
@@ -142,6 +144,14 @@ type Scenario struct {
 	// (quantized correlation kernel, epoch-amortized embedding caches);
 	// default off leaves every run bit-identical to prior releases.
 	FastMath bool
+	// Faults injects a deterministic failure schedule (internal/fault):
+	// server and whole-DC outages, link degradations, PV dropouts. The
+	// zero config runs the exact fault-free pipeline, byte for byte.
+	Faults fault.Config
+	// Storage attaches the replicated/erasure-coded data-placement model
+	// (internal/storage): under faults, shard losses yield repair traffic
+	// in the volume matrix and an analytic data-loss risk in the result.
+	Storage storage.Config
 }
 
 func (sc *Scenario) applyDefaults() {
@@ -185,6 +195,12 @@ func (sc *Scenario) Validate() error {
 	if sc.Epochs < 0 {
 		return fmt.Errorf("sim: negative epoch count %d", sc.Epochs)
 	}
+	if err := sc.Faults.Validate(len(sc.Fleet)); err != nil {
+		return err
+	}
+	if err := sc.Storage.Validate(len(sc.Fleet)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -221,6 +237,15 @@ type Result struct {
 	Epochs         []EpochStat
 	MigEnergy      units.Energy
 	MigDowntimeSec float64
+
+	// Survivability (zero on fault-free runs): emergency evacuations
+	// executed, VM-slots stranded on dead DCs, shard-rebuild traffic
+	// pushed through the backbone, and the mean per-slot probability of
+	// data loss under the storage model.
+	Evacuations     int
+	StrandedVMSlots int
+	RepairBytes     units.DataSize
+	DataLossProb    float64
 
 	// Traffic locality: application bytes exchanged within a DC vs across
 	// DCs (the balance the network-aware policies fight over).
@@ -344,6 +369,9 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 	// Rolling-horizon engine state; nil on the static path, which must stay
 	// byte-identical to the pre-epoch simulator.
 	epoch := newEpochRun(sc, n)
+	// Fault engine state; nil on fault-free runs, which must likewise
+	// stay byte-identical.
+	fr := newFaultRun(sc, n)
 
 	for sl := timeutil.Slot(0); sl < sc.Horizon.Slots; sl++ {
 		if err := ctx.Err(); err != nil {
@@ -351,6 +379,10 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		}
 		if epoch != nil {
 			epoch.startSlot(sl, pol)
+		}
+		if fr != nil {
+			fr.startSlot(sl, fleet, net)
+			in.Health = fr.health
 		}
 		ids := w.ActiveVMs(sl)
 		// Swap the active set to this slot's ids and clear the previous
@@ -427,6 +459,9 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 			placement = epoch.revise(placement, in, net)
 			epoch.moves += len(placement.Moves)
 		}
+		if fr != nil {
+			placement = fr.evacuate(placement, in, net, res, measured)
+		}
 		for i := range byDC {
 			byDC[i] = byDC[i][:0]
 		}
@@ -490,6 +525,10 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 				} else {
 					pue = d.Cooling.PUEAt(at)
 					renew = d.Plant.PowerAt(at)
+				}
+				if fr != nil {
+					// PV dropout: the plant produces, the DC cannot take it.
+					renew = units.Power(float64(renew) * fr.pv[i])
 				}
 				facility := units.Power(float64(it) * pue)
 				dec := d.Green.Step(facility, renew, at, dt)
@@ -557,6 +596,11 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 				res.CrossBytes += e.Vol
 			}
 		}
+		if fr != nil {
+			// Shard rebuilds flow through the same volume matrix as user
+			// traffic, so repair congestion lands in Eq. 1's worst case.
+			fr.applyRepair(ids, vol, res, measured)
+		}
 		if measured {
 			for j := 0; j < n; j++ {
 				resp := net.DestLatency(j, vol)
@@ -564,6 +608,10 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 					// Arriving migrations pause their VMs: the destination's
 					// slot sample carries the charged downtime.
 					resp += epoch.downtime[j]
+				}
+				if fr != nil {
+					// Stranded VMs are unreachable for the slot.
+					resp += fr.downtime[j]
 				}
 				res.RespSamples = append(res.RespSamples, resp)
 				res.RespSummary.Add(resp)
@@ -575,11 +623,16 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 
 		// Learn: forecasters see the slot's realized PV intake.
 		for i, d := range fleet {
+			pvE := units.Energy(0)
 			if env != nil {
-				d.Forecast.Observe(sl, env.pv[i][sl])
+				pvE = env.pv[i][sl]
 			} else {
-				d.Forecast.Observe(sl, d.Plant.SlotEnergy(sl))
+				pvE = d.Plant.SlotEnergy(sl)
 			}
+			if fr != nil {
+				pvE = units.Energy(float64(pvE) * fr.pv[i])
+			}
+			d.Forecast.Observe(sl, pvE)
 		}
 
 		// Carry placement.
@@ -592,6 +645,15 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 	}
 	if epoch != nil {
 		res.Epochs = epoch.stats
+	}
+	if fr != nil {
+		res.DataLossProb = fr.lossProb()
+		// Restore the fleet's healthy sizes: the caller's scenario object
+		// outlives the run.
+		for i, d := range fleet {
+			d.Servers = fr.baseServers[i]
+		}
+		net.SetDegrade(nil)
 	}
 	res.FinalPlacement = make(map[int]int, len(current))
 	for id, d := range current {

@@ -1,0 +1,118 @@
+package geovmp
+
+import (
+	"context"
+	"slices"
+	"testing"
+)
+
+// faultySpec reduces the geo5dc-faulty preset to test size and swaps in the
+// given storage layout. Scale and horizon are chosen so the measured window
+// (slots 6..15 after the default warmup) covers both the Milan DC outage
+// (slots 6-8) and the degraded-capacity tail (through slot 12).
+func faultySpec(t *testing.T, name string, st StorageConfig) Spec {
+	t.Helper()
+	spec, err := Preset("geo5dc-faulty")
+	if err != nil {
+		t.Fatalf("Preset(geo5dc-faulty): %v", err)
+	}
+	spec.Name = name
+	spec.Scale = 0.01
+	spec.Horizon = HoursOf(16)
+	spec.FineStepSec = 300
+	spec.Storage = st
+	return spec
+}
+
+func runSurvivability(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	sc, err := NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario(%s): %v", spec.Name, err)
+	}
+	res, err := Run(sc, Proposed(0.5, 1))
+	if err != nil {
+		t.Fatalf("Run(%s): %v", spec.Name, err)
+	}
+	return res
+}
+
+// TestSurvivabilityAcceptance pins the PR's headline claim: under the
+// reference outage schedule on geo5dc-faulty, erasure-coded placement has a
+// lower data-loss risk than 2-way replication at the same 2.0x storage
+// overhead, both emit repair traffic, and disabling storage leaves the
+// durability metrics at zero while the fault schedule still forces
+// evacuations.
+func TestSurvivabilityAcceptance(t *testing.T) {
+	rep := StorageConfig{Scheme: StorageReplicated, Replicas: 2}
+	era := StorageConfig{Scheme: StorageErasure, K: 2, M: 2}
+	if ro, eo := rep.Overhead(), era.Overhead(); ro != 2.0 || eo != 2.0 {
+		t.Fatalf("storage overheads differ: replicated %.2f, erasure %.2f", ro, eo)
+	}
+
+	none := runSurvivability(t, faultySpec(t, "faulty-none", StorageConfig{}))
+	repRes := runSurvivability(t, faultySpec(t, "faulty-rep", rep))
+	eraRes := runSurvivability(t, faultySpec(t, "faulty-era", era))
+
+	if none.DataLossProb != 0 || none.RepairBytes != 0 {
+		t.Errorf("no-storage run must report zero durability metrics, got loss=%v repair=%v",
+			none.DataLossProb, none.RepairBytes)
+	}
+	if none.Evacuations+none.StrandedVMSlots == 0 {
+		t.Errorf("reference outage schedule produced no evacuations or stranded slots")
+	}
+	if repRes.DataLossProb <= 0 {
+		t.Errorf("replicated data-loss probability = %v, want > 0", repRes.DataLossProb)
+	}
+	if eraRes.DataLossProb <= 0 {
+		t.Errorf("erasure data-loss probability = %v, want > 0", eraRes.DataLossProb)
+	}
+	if eraRes.DataLossProb >= repRes.DataLossProb {
+		t.Errorf("erasure loss risk %v not below replication %v at equal overhead",
+			eraRes.DataLossProb, repRes.DataLossProb)
+	}
+	if repRes.RepairBytes <= 0 || eraRes.RepairBytes <= 0 {
+		t.Errorf("repair traffic missing: replicated %v, erasure %v",
+			repRes.RepairBytes, eraRes.RepairBytes)
+	}
+}
+
+// TestSurvivabilityFrontier pins the second half of the acceptance
+// criterion: the repair-bandwidth objective participates in a 3-objective
+// frontier over the faulty scenario and carries a positive value on the
+// resolved front.
+func TestSurvivabilityFrontier(t *testing.T) {
+	spec := faultySpec(t, "faulty-frontier", StorageConfig{Scheme: StorageErasure, K: 2, M: 2})
+	fr := NewFrontier(
+		FrontierScenarios(spec),
+		FrontierObjectives(CostObjective(), DataLossObjective(), RepairBandwidthObjective()),
+		FrontierPointBudget(3),
+		FrontierSeeds(1),
+		FrontierParallelism(2),
+	)
+	fs, err := fr.Run(context.Background())
+	if err != nil {
+		t.Fatalf("frontier run: %v", err)
+	}
+	sf := fs.Scenario("faulty-frontier")
+	if sf == nil {
+		t.Fatalf("frontier set missing scenario, have %v", fs.Scenarios)
+	}
+	idx := slices.Index(sf.Objectives, "repair_gb")
+	if idx < 0 {
+		t.Fatalf("repair_gb objective missing from frontier objectives %v", sf.Objectives)
+	}
+	lossIdx := slices.Index(sf.Objectives, "data_loss_prob")
+	if lossIdx < 0 {
+		t.Fatalf("data_loss_prob objective missing from frontier objectives %v", sf.Objectives)
+	}
+	if len(sf.Front) == 0 {
+		t.Fatalf("frontier front is empty")
+	}
+	for _, pi := range sf.Front {
+		p := sf.Points[pi]
+		if p.V[idx] <= 0 {
+			t.Errorf("front point %s has non-positive repair_gb %v", p.Name, p.V[idx])
+		}
+	}
+}
