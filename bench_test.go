@@ -15,6 +15,8 @@ import (
 
 	"geovmp/internal/core"
 	"geovmp/internal/experiment"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
 )
 
 // proposedCapture is a Proposed-only policy list whose factory also hands
@@ -444,6 +446,105 @@ func writeBenchJSON(b *testing.B, path string, artifact any) {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// benchTraceWorkload is the streaming-compile benchmark's workload: a
+// multi-day synthetic fleet large enough that the fine table is tens of
+// MB, so the in-core/out-of-core comparison measures real table traffic.
+func benchTraceWorkload() *trace.Workload {
+	return trace.New(trace.Config{
+		Seed:       42,
+		Horizon:    Days(2),
+		InitialVMs: 1500,
+	})
+}
+
+// BenchmarkCompileStream measures the out-of-core trace pipeline against
+// the in-core compile on the same workload: sub-benchmark "incore" builds
+// the resident fine+profile tables outright; "stream" compiles under a
+// 4 MiB per-table budget and then drives a FineCursor + ProfileCursor
+// across every slot — the simulator's exact access pattern — so the
+// reported throughput covers chunk compilation, not just bookkeeping.
+// Reported: compiled slots per second per variant, the resident table MB
+// of the in-core build, and the streamed window's peak MB (the memory the
+// budget actually bounds).
+//
+// When GEOVMP_BENCH_TRACE_JSON names a path, the stream variant writes
+// both throughputs there (CI uploads it as BENCH_trace.json and the
+// benchdiff gate holds the *_per_sec fields to the committed baseline).
+func BenchmarkCompileStream(b *testing.B) {
+	const samples, fineStep = 12, 300
+	opts := trace.CompileOptions{Samples: samples, FineStepSec: fineStep}
+	var incoreSlotsPerSec, residentMB float64
+	b.Run("incore", func(b *testing.B) {
+		var c *trace.Compiled
+		for i := 0; i < b.N; i++ {
+			c = trace.Compile(benchTraceWorkload(), opts)
+		}
+		fineBytes, profBytes := c.TableBytes()
+		residentMB = float64(fineBytes+profBytes) / (1 << 20)
+		incoreSlotsPerSec = float64(c.Slots()) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(incoreSlotsPerSec, "slots/s")
+		b.ReportMetric(residentMB, "resident-MB")
+	})
+	b.Run("stream", func(b *testing.B) {
+		budgeted := opts
+		budgeted.MaxFineTableBytes = 4 << 20
+		var windowPeak int64
+		var chunkSlots int
+		var streamSlotsPerSec float64
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			c := trace.Compile(benchTraceWorkload(), budgeted)
+			fineCur := c.NewFineCursor(nil)
+			profCur := c.NewProfileCursor(nil)
+			if fineCur == nil || profCur == nil {
+				b.Fatal("4 MiB budget did not chunk the tables")
+			}
+			chunkSlots = c.FineChunkSlots()
+			for sl := timeutil.Slot(0); sl < c.Slots(); sl++ {
+				fineCur.Advance(sl)
+				profCur.Advance(sl)
+				if wb := fineCur.WindowBytes() + profCur.WindowBytes(); wb > windowPeak {
+					windowPeak = wb
+				}
+				for _, id := range c.ActiveVMs(sl) {
+					if row := fineCur.FineRow(id, sl); row != nil {
+						sink += row[0]
+					}
+				}
+			}
+			streamSlotsPerSec = float64(c.Slots()) * float64(b.N) / b.Elapsed().Seconds()
+		}
+		_ = sink
+		windowMB := float64(windowPeak) / (1 << 20)
+		b.ReportMetric(streamSlotsPerSec, "slots/s")
+		b.ReportMetric(windowMB, "window-MB")
+		b.ReportMetric(float64(chunkSlots), "chunk-slots")
+		path := os.Getenv("GEOVMP_BENCH_TRACE_JSON")
+		if path == "" || b.N == 0 {
+			return
+		}
+		writeBenchJSON(b, path, struct {
+			Benchmark         string  `json:"benchmark"`
+			N                 int     `json:"n"`
+			IncoreSlotsPerSec float64 `json:"incore_slots_per_sec"`
+			StreamSlotsPerSec float64 `json:"stream_slots_per_sec"`
+			ResidentMB        float64 `json:"resident_table_mb"`
+			WindowMB          float64 `json:"stream_window_mb"`
+			ChunkSlots        int     `json:"chunk_slots"`
+			NsPerOp           float64 `json:"ns_per_op"`
+		}{
+			Benchmark:         "BenchmarkCompileStream/stream",
+			N:                 b.N,
+			IncoreSlotsPerSec: incoreSlotsPerSec,
+			StreamSlotsPerSec: streamSlotsPerSec,
+			ResidentMB:        residentMB,
+			WindowMB:          windowMB,
+			ChunkSlots:        chunkSlots,
+			NsPerOp:           float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
 }
 
 // benchServeLog compiles the geo5dc-dynamic preset at the given fleet

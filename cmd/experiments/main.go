@@ -9,6 +9,8 @@
 //	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast|epochs|frontier|failures]
 //	            [-scale 0.05] [-seed 42] [-seeds 1] [-days 7] [-finestep 60]
 //	            [-par 0] [-out results] [-json results/cells.json]
+//	            [-tracedir replaydir | -ingest-vms vms.csv -ingest-cpu cpu.csv]
+//	            [-finebudget bytes] [-chunkslots n]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
 // The profiling flags write pprof profiles covering the sweep — the fastest
@@ -52,6 +54,12 @@ var (
 	memProf  = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	traceOut = flag.String("trace", "", "write a runtime/trace of the sweep to this path (inspect shard balance with `go tool trace`)")
 	fastmath = flag.Bool("fastmath", false, "enable the approximate fast-numeric mode (quantized correlation kernel, cached embedding forces; see PERFORMANCE.md)")
+
+	traceDir   = flag.String("tracedir", "", "drive scenarios from this replay trace directory (tracegen -replay format) instead of the synthetic workload")
+	ingestVMs  = flag.String("ingest-vms", "", "drive scenarios from a raw cluster trace: VM lifetime CSV (requires -ingest-cpu)")
+	ingestCPU  = flag.String("ingest-cpu", "", "per-interval CPU utilization CSV paired with -ingest-vms")
+	fineBudget = flag.Int64("finebudget", 0, "resident bytes budget per compiled workload table; over-budget tables stream in chunks (0 = 256 MiB default, negative disables the fine table)")
+	chunkSlots = flag.Int("chunkslots", 0, "pin the streaming-compile chunk width in slots (0 = derive from -finebudget)")
 )
 
 // startProfiles begins CPU profiling and execution tracing (when requested)
@@ -129,6 +137,18 @@ func baseOpts() []geovmp.ScenarioOption {
 	}
 	if *fastmath {
 		opts = append(opts, geovmp.WithFastMath())
+	}
+	if *traceDir != "" {
+		opts = append(opts, geovmp.WithReplayDir(*traceDir))
+	}
+	if *ingestVMs != "" || *ingestCPU != "" {
+		opts = append(opts, geovmp.WithTraceFile(*ingestVMs, *ingestCPU))
+	}
+	if *fineBudget != 0 {
+		opts = append(opts, geovmp.WithFineTableBudget(*fineBudget))
+	}
+	if *chunkSlots != 0 {
+		opts = append(opts, geovmp.WithChunkSlots(*chunkSlots))
 	}
 	return opts
 }

@@ -269,6 +269,37 @@ func WithProfileSamples(n int) ScenarioOption { return config.WithProfileSamples
 // for concurrent readers when used in a parallel sweep.
 func WithWorkload(w Workload) ScenarioOption { return config.WithWorkload(trace.Source(w)) }
 
+// WithReplayDir drives the scenario from a replay trace directory
+// (vms.csv / profiles.csv / volumes.csv, as written by ExportWorkload)
+// instead of the synthetic generator. The directory is loaded at scenario
+// build time, so errors surface from NewScenario / Experiment.Run.
+func WithReplayDir(dir string) ScenarioOption { return config.WithReplayDir(dir) }
+
+// WithTraceFile drives the scenario from a raw Azure/Google-style cluster
+// trace: a VM lifetime CSV plus a per-interval CPU-utilization CSV,
+// streamed through IngestCluster at scenario build time.
+func WithTraceFile(vmCSV, cpuCSV string) ScenarioOption { return config.WithTraceFile(vmCSV, cpuCSV) }
+
+// WithUsageTemplates calibrates the synthetic generator to fitted usage
+// templates (see FitTemplates): services draw their class and utilization
+// parameters from the templates instead of the built-in class ranges.
+func WithUsageTemplates(ts ...UsageTemplate) ScenarioOption {
+	return config.WithUsageTemplates(ts...)
+}
+
+// WithFineTableBudget bounds the resident bytes of each compiled workload
+// table (fine and profile). Tables over the budget compile chunked and
+// stream through the simulator in bounded slot windows; results stay
+// byte-identical to the unbounded path. 0 keeps the 256 MiB default;
+// negative disables the fine table entirely (legacy behavior).
+func WithFineTableBudget(bytes int64) ScenarioOption { return config.WithFineTableBudget(bytes) }
+
+// WithChunkSlots pins the chunk width (in slots) used when a compiled
+// table exceeds the fine-table budget, overriding the width derived from
+// the budget. 0 derives it; useful to make streaming-compile benchmarks
+// reproducible across fleets.
+func WithChunkSlots(n int) ScenarioOption { return config.WithChunkSlots(n) }
+
 // MigrationBudget parameterizes the rolling-horizon engine's migration
 // accounting: a per-epoch executed-move budget plus the transfer energy
 // (J/GB, split between source and destination DC) and per-move service

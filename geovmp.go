@@ -200,6 +200,32 @@ func ExportWorkload(w Workload, dir string, slots Horizon, samples int) error {
 // Scenario.Workload to drive experiments with it.
 func LoadWorkload(dir string) (Workload, error) { return trace.LoadReplay(dir) }
 
+// IngestOptions parameterizes IngestWorkload: profile resolution, the CPU
+// column's scale, default image size, and fleet/horizon bounds.
+type IngestOptions = trace.IngestOptions
+
+// IngestWorkload streams a raw Azure/Google-style cluster trace — a VM
+// lifetime CSV plus a per-interval CPU-utilization CSV — into a replayable
+// workload. Both files are read row by row, so memory stays proportional
+// to the binned profiles, never the input size. The zero IngestOptions
+// selects Azure-style defaults (12 samples/slot, percent CPU readings).
+func IngestWorkload(vmCSV, cpuCSV string, opt IngestOptions) (Workload, error) {
+	return trace.IngestCluster(vmCSV, cpuCSV, opt)
+}
+
+// UsageTemplate is a fitted parameterization of one family of VM behavior,
+// derived from a real trace by FitTemplates and consumed by
+// WithUsageTemplates to calibrate the synthetic generator.
+type UsageTemplate = trace.UsageTemplate
+
+// FitTemplates fits k usage templates to a workload by clustering per-VM
+// trace statistics (mean level, diurnal amplitude and phase, within-slot
+// variability, day-to-day variance, lifetime). The fit is deterministic.
+// samples is the per-slot profile resolution read from w (0 selects 12).
+func FitTemplates(w Workload, k, samples int) []UsageTemplate {
+	return trace.FitTemplates(w, k, samples)
+}
+
 // WindowWorkload returns a read-only view of w restricted to `slots` hours
 // starting at hour `startHour`, re-based so the window opens at slot 0 —
 // the per-epoch view of a workload. Over a compiled trace the view keeps

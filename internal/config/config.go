@@ -93,6 +93,30 @@ type Spec struct {
 	// example a replayed trace loaded with trace.LoadReplay). It must be
 	// safe for concurrent readers when used in a parallel sweep.
 	Workload trace.Source
+	// ReplayDir, when set, loads the workload from a replay-format CSV
+	// directory (trace.LoadReplay) at build time. A non-nil Workload wins
+	// over it. Multi-seed sweeps should load once and set Workload so the
+	// files are not re-read per column.
+	ReplayDir string
+	// TraceVMsFile and TraceCPUFile, when both set, ingest an
+	// Azure/Google-style cluster trace — VM lifetimes plus per-interval
+	// CPU readings — at build time (trace.IngestCluster with defaults).
+	// Mutually exclusive with ReplayDir; a non-nil Workload wins.
+	TraceVMsFile string
+	TraceCPUFile string
+	// Templates calibrates the synthetic generator to usage templates
+	// fitted from a real trace (trace.FitTemplates): new services draw a
+	// template by weight and member VMs parameterize around the fitted
+	// values. Empty keeps the paper's synthetic families bit-identical.
+	Templates []trace.UsageTemplate
+	// MaxFineTableBytes bounds each compiled utilization table
+	// (trace.CompileOptions.MaxFineTableBytes): 0 selects the compiler's
+	// 256 MiB default, negative disables the fine table. Tables over the
+	// budget stream through chunk cursors instead of residing in memory.
+	MaxFineTableBytes int64
+	// FineChunkSlots pins the streamed chunk width in slots for
+	// out-of-core tables (0 derives it from the budget).
+	FineChunkSlots int
 	// Epochs splits the horizon into rolling-horizon re-optimization
 	// epochs: the controllers are signalled at each interior boundary, the
 	// per-epoch migration budget resets, and results carry a per-epoch
@@ -227,6 +251,12 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if (s.TraceVMsFile == "") != (s.TraceCPUFile == "") {
+		return fmt.Errorf("config: TraceVMsFile and TraceCPUFile must be set together")
+	}
+	if s.ReplayDir != "" && s.TraceVMsFile != "" {
+		return fmt.Errorf("config: ReplayDir and TraceVMsFile/TraceCPUFile are mutually exclusive")
+	}
 	if err := s.Faults.Validate(len(sites)); err != nil {
 		return err
 	}
@@ -350,6 +380,14 @@ func validateClassWeights(weights []float64, label string) error {
 // re-optimizes at. The row count is deliberately independent of Epochs;
 // see Spec.EpochClassWeights.
 func newWorkload(spec Spec, totalServers int) (trace.Source, error) {
+	if spec.ReplayDir != "" {
+		return trace.LoadReplay(spec.ReplayDir)
+	}
+	if spec.TraceVMsFile != "" {
+		return trace.IngestCluster(spec.TraceVMsFile, spec.TraceCPUFile, trace.IngestOptions{
+			Samples: sim.ResolveProfileSamples(spec.ProfileSamples),
+		})
+	}
 	initialVMs := int(math.Round(float64(totalServers) * spec.VMsPerServer))
 	if initialVMs < 10 {
 		initialVMs = 10
@@ -371,6 +409,7 @@ func newWorkload(spec Spec, totalServers int) (trace.Source, error) {
 		ClassWeights: spec.ClassWeights,
 		Phases:       phases,
 		ArrivalWave:  spec.ArrivalWave,
+		Templates:    spec.Templates,
 	}), nil
 }
 
@@ -426,8 +465,10 @@ func CompileWorkload(spec Spec, workers *par.Budget) (*trace.Compiled, error) {
 		samples = -1 // resolved "no profiles": tell Compile to skip the table
 	}
 	return trace.Compile(w, trace.CompileOptions{
-		Samples:     samples,
-		FineStepSec: sim.ResolveFineStep(spec.FineStepSec),
-		Workers:     workers,
+		Samples:           samples,
+		FineStepSec:       sim.ResolveFineStep(spec.FineStepSec),
+		MaxFineTableBytes: spec.MaxFineTableBytes,
+		ChunkSlots:        spec.FineChunkSlots,
+		Workers:           workers,
 	}), nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
 	"geovmp/internal/units"
 )
 
@@ -138,5 +139,56 @@ func TestMinimumServers(t *testing.T) {
 		if d.Servers < 1 {
 			t.Fatalf("%s has %d servers", d.Name, d.Servers)
 		}
+	}
+}
+
+func TestTraceSourceSpecValidation(t *testing.T) {
+	if _, err := Build(Spec{Scale: 0.01, TraceVMsFile: "vms.csv"}); err == nil {
+		t.Fatal("TraceVMsFile without TraceCPUFile accepted")
+	}
+	if _, err := Build(Spec{Scale: 0.01, TraceCPUFile: "cpu.csv"}); err == nil {
+		t.Fatal("TraceCPUFile without TraceVMsFile accepted")
+	}
+	if _, err := Build(Spec{Scale: 0.01, ReplayDir: "d", TraceVMsFile: "v", TraceCPUFile: "c"}); err == nil {
+		t.Fatal("ReplayDir combined with a raw trace accepted")
+	}
+	if _, err := Build(Spec{Scale: 0.01, ReplayDir: "/nonexistent-replay-dir"}); err == nil {
+		t.Fatal("missing replay directory accepted")
+	}
+}
+
+func TestReplayDirSpecDrivesWorkload(t *testing.T) {
+	src, err := Build(Spec{Scale: 0.01, Seed: 4, Horizon: timeutil.Hours(4), FineStepSec: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := trace.ExportReplay(src.Workload, dir, 4, 12); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Build(NewSpec("replayed",
+		WithScale(0.01), WithSeed(4), WithHorizon(timeutil.Hours(4)),
+		WithFineStep(300), WithReplayDir(dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workload.NumVMs() != src.Workload.NumVMs() {
+		t.Fatalf("replayed fleet %d VMs, source %d", sc.Workload.NumVMs(), src.Workload.NumVMs())
+	}
+}
+
+func TestFineBudgetSpecReachesCompile(t *testing.T) {
+	spec := NewSpec("budgeted",
+		WithScale(0.01), WithSeed(2), WithHorizon(timeutil.Hours(4)),
+		WithFineStep(300), WithFineTableBudget(1), WithChunkSlots(2))
+	c, err := CompileWorkload(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.FineChunked() {
+		t.Fatal("1-byte budget did not chunk the fine table")
+	}
+	if got := c.FineChunkSlots(); got != 2 {
+		t.Fatalf("pinned chunk width = %d, want 2", got)
 	}
 }

@@ -230,6 +230,36 @@ func WithWarmupSlots(n int) Option { return func(s *Spec) { s.WarmupSlots = n } 
 // policies observe (default 12).
 func WithProfileSamples(n int) Option { return func(s *Spec) { s.ProfileSamples = n } }
 
+// WithReplayDir loads the workload from a replay-format CSV directory
+// (trace.LoadReplay) at build time. For multi-seed sweeps prefer loading
+// once and passing the result to WithWorkload.
+func WithReplayDir(dir string) Option { return func(s *Spec) { s.ReplayDir = dir } }
+
+// WithTraceFile ingests an Azure/Google-style cluster trace at build time:
+// a VM lifetime CSV plus a per-interval CPU readings CSV
+// (trace.IngestCluster).
+func WithTraceFile(vmCSV, cpuCSV string) Option {
+	return func(s *Spec) { s.TraceVMsFile, s.TraceCPUFile = vmCSV, cpuCSV }
+}
+
+// WithUsageTemplates calibrates the synthetic generator to usage templates
+// fitted from a real trace (trace.FitTemplates).
+func WithUsageTemplates(ts ...trace.UsageTemplate) Option {
+	return func(s *Spec) { s.Templates = ts }
+}
+
+// WithFineTableBudget bounds each compiled utilization table in bytes;
+// tables over the budget stream through chunk cursors instead of residing
+// in memory (trace.CompileOptions.MaxFineTableBytes; negative disables the
+// fine table).
+func WithFineTableBudget(bytes int64) Option {
+	return func(s *Spec) { s.MaxFineTableBytes = bytes }
+}
+
+// WithChunkSlots pins the streamed chunk width in slots for out-of-core
+// compiled tables (0 derives it from the budget).
+func WithChunkSlots(n int) Option { return func(s *Spec) { s.FineChunkSlots = n } }
+
 // WithWorkload installs a pre-built workload (for example a replayed
 // trace) instead of the synthetic generator. The source must be safe for
 // concurrent readers when the spec is used in a parallel sweep.

@@ -132,6 +132,66 @@ func TestColumnsSharedAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestChunkedColumnsSharedAndIdentical extends the column-sharing contract
+// to out-of-core tables: a pre-compiled column whose fine/profile tables
+// stream through chunk windows is shared across concurrent cells without
+// recompilation (cursors are per-run, the chunked Compiled is read-only),
+// and the swept ResultSet is byte-identical to the unbounded in-core grid.
+func TestChunkedColumnsSharedAndIdentical(t *testing.T) {
+	spec := frontierGridSpec(t)
+	pols := []PolicySpec{
+		{Name: "Proposed", New: func(seed uint64) policy.Policy { return core.New(0.9, seed) }},
+		{Name: "EnerAware", New: func(seed uint64) policy.Policy { return policy.EnerAware{} }},
+	}
+	offsets := []uint64{0, 1}
+
+	// Unbounded in-core baseline, serial.
+	incore, err := Run(context.Background(), Grid{
+		Scenarios: []config.Spec{spec}, Policies: pols, SeedOffsets: offsets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := incore.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A 1-byte budget forces both tables out of core.
+	chunked := spec
+	chunked.MaxFineTableBytes = 1
+	columns := map[uint64]*Column{}
+	for _, off := range offsets {
+		col, err := CompileColumn(chunked, chunked.Seed+off, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !col.src.FineChunked() {
+			t.Fatal("column's fine table is not chunked under a 1-byte budget")
+		}
+		columns[chunked.Seed+off] = col
+	}
+	before := CompileCount()
+	set, err := Run(context.Background(), Grid{
+		Scenarios: []config.Spec{chunked}, Policies: pols, SeedOffsets: offsets,
+		Parallelism: runtime.GOMAXPROCS(0) + 6,
+		Columns:     func(_ string, seed uint64) *Column { return columns[seed] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CompileCount() - before; got != 0 {
+		t.Fatalf("engine recompiled %d chunked columns; want 0", got)
+	}
+	js, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, js) {
+		t.Fatal("chunked-column sweep differs from the unbounded in-core grid")
+	}
+}
+
 // TestJSONSortsCellsOnExport pins the small-fix satellite: the export is
 // sorted by grid coordinates even when the in-memory cell slice has been
 // reordered (e.g. by a future completion-order collector).

@@ -298,13 +298,21 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 
 	// Compiled fast paths: profile rows shared without copying when the
 	// sampling matches, and fine-step utilization rows when the fine table
-	// matches the scenario's step.
+	// matches the scenario's step. Out-of-core tables serve the same rows
+	// through per-run chunk cursors, advanced once per slot below; the
+	// streamed values are byte-identical to the resident tables'.
 	compiled, _ := w.(*trace.Compiled)
 	useProfiles := compiled != nil && compiled.Samples() == sc.ProfileSamples
 	fineSteps := 0
+	var fineCur *trace.FineCursor
+	var profCur *trace.ProfileCursor
 	if compiled != nil {
 		if dt, steps := compiled.FineParams(); steps > 0 && dt == sc.FineStepSec {
 			fineSteps = steps
+			fineCur = compiled.NewFineCursor(sc.Workers)
+		}
+		if useProfiles {
+			profCur = compiled.NewProfileCursor(sc.Workers)
 		}
 	}
 	env := sc.Env
@@ -414,8 +422,17 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		}
 		ps.Reset()
 		if useProfiles {
+			if profCur != nil {
+				profCur.Advance(obsSlot)
+			}
 			for _, id := range ids {
-				if row := compiled.ProfileRow(id, obsSlot); row != nil {
+				var row []float64
+				if profCur != nil {
+					row = profCur.ProfileRow(id, obsSlot)
+				} else {
+					row = compiled.ProfileRow(id, obsSlot)
+				}
+				if row != nil {
 					ps.Add(id, row)
 				} else {
 					ps.Add(id, w.SlotProfile(id, obsSlot, sc.ProfileSamples))
@@ -495,7 +512,12 @@ func RunCtx(ctx context.Context, sc *Scenario, pol policy.Policy) (*Result, erro
 		// otherwise each step synthesizes utilizations on demand. Both
 		// paths accumulate in the same order, so results are identical.
 		if fine != nil {
-			fine.evaluate(compiled, fleet, allocs, sl, sc.Workers)
+			var rows trace.FineRows = compiled
+			if fineCur != nil {
+				fineCur.Advance(sl)
+				rows = fineCur
+			}
+			fine.evaluate(rows, compiled, fleet, allocs, sl, sc.Workers)
 		}
 		clear(slotEnergy)
 		var slotCost units.Money
@@ -735,12 +757,13 @@ func newFinePlan(n, steps int, dt float64) *finePlan {
 }
 
 // evaluate fills the plan for slot sl. Per server it accumulates the member
-// VMs' fine rows, then folds capacity and the power model per step — the
+// VMs' fine rows — read from rows, the resident table or a chunk cursor
+// positioned on sl — then folds capacity and the power model per step: the
 // same additions in the same order as the per-step itPowerAt path, so the
 // two produce bit-identical results. DCs are sharded over the run's worker
 // budget: each shard writes only its own DCs' rows, so any worker count
 // produces the serial result.
-func (p *finePlan) evaluate(c *trace.Compiled, fleet dc.Fleet, allocs []allocView, sl timeutil.Slot, workers *par.Budget) {
+func (p *finePlan) evaluate(rows trace.FineRows, c *trace.Compiled, fleet dc.Fleet, allocs []allocView, sl timeutil.Slot, workers *par.Budget) {
 	par.For(workers, len(fleet), 1, func(lo, hi int) {
 		buf := p.srvLoad.Get().(*[]float64)
 		load := *buf
@@ -754,7 +777,7 @@ func (p *finePlan) evaluate(c *trace.Compiled, fleet dc.Fleet, allocs []allocVie
 			for _, srv := range allocs[i].servers {
 				clear(load)
 				for _, id := range srv.vms {
-					row := c.FineRow(id, sl)
+					row := rows.FineRow(id, sl)
 					if row == nil {
 						// A VM the table does not cover (a policy allocating
 						// a never-active id): read the source at the exact

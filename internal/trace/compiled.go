@@ -18,12 +18,19 @@ type CompileOptions struct {
 	// simulator's fine loop exactly: row k holds Util at the step of the
 	// k-th iteration of `for t := 0.0; t < 3600; t += FineStepSec`.
 	FineStepSec float64
-	// MaxFineTableBytes bounds the fine-step utilization table (default
-	// 256 MiB; negative disables it). When the table would exceed the
-	// budget — a paper-scale fleet at 5 s steps — it is skipped and Util
-	// queries fall through to the underlying source; profiles and volumes
-	// always materialize.
+	// MaxFineTableBytes bounds each resident utilization table — fine
+	// steps and per-slot profiles alike (default 256 MiB; negative
+	// disables the fine table entirely and keeps the legacy
+	// always-resident profiles). A table that would exceed the budget is
+	// not skipped: it is compiled out-of-core, streamed in fixed
+	// slot-range chunks through a FineCursor/ProfileCursor so peak memory
+	// is bounded by one chunk window while the values stay byte-identical
+	// to the in-core path. Volumes always materialize.
 	MaxFineTableBytes int64
+	// ChunkSlots overrides the streamed chunk width in slots for tables
+	// that exceed MaxFineTableBytes. Zero derives the widest window whose
+	// peak resident bytes fit the budget (at least one slot).
+	ChunkSlots int
 	// Workers optionally lends extra goroutines to the compilation: the
 	// per-VM fine and profile tables and the per-slot volume lists are
 	// sharded (each shard writes disjoint rows) and the active-window scan
@@ -78,6 +85,21 @@ type Compiled struct {
 
 	vols    [][]VolumeEntry // realized, per slot
 	planned [][]VolumeEntry // PlannedVolumes(obsSlot(sl), sl), per slot
+
+	// Out-of-core state. fineChunk/profChunk are the streamed chunk
+	// widths in slots for tables that exceeded the budget (0 when the
+	// table is resident or absent); cursors compile windows on demand
+	// from the retained active windows and step lists.
+	fineChunk   int
+	profChunk   int
+	first, last []timeutil.Slot   // per-VM active windows (chunked modes)
+	stepsBySlot [][]timeutil.Step // fine-loop step lists (chunked fine)
+
+	// Footprints recorded for the already-compiled fast path: what the
+	// full tables would cost resident, and the peak one-slot cost that
+	// sizes chunk windows.
+	fineBytes, fineSlotPeak int64
+	profBytes, profSlotPeak int64
 }
 
 var _ Source = (*Compiled)(nil)
@@ -145,11 +167,13 @@ func profileToFine(stepsBySlot [][]timeutil.Step, samples int) [][]int {
 }
 
 // Compile materializes src into flat per-slot tables. Compiling an already
-// compiled trace with compatible options returns it unchanged.
+// compiled trace with compatible options — including the fine-table
+// configuration, so a budget-capped table is never handed to a caller that
+// asked for a larger or unbounded one — returns it unchanged.
 func Compile(src Source, opt CompileOptions) *Compiled {
 	opt.applyDefaults()
 	if c, ok := src.(*Compiled); ok {
-		if c.samples == opt.Samples && c.dt == opt.FineStepSec {
+		if c.samples == opt.Samples && c.dt == opt.FineStepSec && c.tablesCompatible(opt) {
 			return c
 		}
 		src = c.src // recompile from the original source
@@ -213,17 +237,35 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 	// Fine-step utilization rows over each VM's active window, within the
 	// memory budget. The per-slot step lists are hoisted out of the per-VM
 	// loop; they replicate the simulator's fine loop bit-for-bit,
-	// including its floating-point time accumulation.
+	// including its floating-point time accumulation. Past the budget the
+	// table goes out-of-core: the active windows and step lists are
+	// retained and a FineCursor compiles slot-range chunks on demand.
 	steps := fineStepsPerSlot(c.dt)
-	var fineBytes int64
-	for id := 0; id < c.numVMs; id++ {
-		if first[id] >= 0 {
-			fineBytes += int64(last[id]-first[id]+1) * int64(steps) * 8
+	var winPeak int64 // most VM windows overlapping any one slot
+	{
+		diff := make([]int64, slots+1)
+		for id := 0; id < c.numVMs; id++ {
+			if first[id] >= 0 {
+				diff[first[id]]++
+				diff[last[id]+1]--
+			}
+		}
+		var run int64
+		for _, d := range diff {
+			run += d
+			if run > winPeak {
+				winPeak = run
+			}
 		}
 	}
-	var stepsBySlot [][]timeutil.Step
-	if opt.MaxFineTableBytes > 0 && fineBytes <= opt.MaxFineTableBytes {
-		stepsBySlot = make([][]timeutil.Step, slots)
+	for id := 0; id < c.numVMs; id++ {
+		if first[id] >= 0 {
+			c.fineBytes += int64(last[id]-first[id]+1) * int64(steps) * 8
+		}
+	}
+	c.fineSlotPeak = winPeak * int64(steps) * 8
+	if opt.MaxFineTableBytes > 0 {
+		stepsBySlot := make([][]timeutil.Step, slots)
 		for sl := timeutil.Slot(0); sl < c.slots; sl++ {
 			row := make([]timeutil.Step, 0, steps)
 			start := sl.Seconds()
@@ -233,27 +275,35 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 			stepsBySlot[sl] = row
 		}
 		c.steps = steps
-		c.fineStart = make([]timeutil.Slot, c.numVMs)
-		c.fine = make([][]float64, c.numVMs)
-		// Each VM owns its rows — disjoint writes, so the sharded fill is
-		// byte-identical to the serial one.
-		par.For(opt.Workers, c.numVMs, vmRowGrain, func(lo, hi int) {
-			for id := lo; id < hi; id++ {
-				if first[id] < 0 {
-					continue
-				}
-				c.fineStart[id] = first[id]
-				rows := make([]float64, int(last[id]-first[id]+1)*steps)
-				c.fine[id] = rows
-				for sl := first[id]; sl <= last[id]; sl++ {
-					row := rows[int(sl-first[id])*steps:]
-					for k, step := range stepsBySlot[sl] {
-						row[k] = src.Util(id, step)
+		c.stepsBySlot = stepsBySlot
+		if c.fineBytes <= opt.MaxFineTableBytes {
+			c.fineStart = make([]timeutil.Slot, c.numVMs)
+			c.fine = make([][]float64, c.numVMs)
+			// Each VM owns its rows — disjoint writes, so the sharded fill
+			// is byte-identical to the serial one.
+			par.For(opt.Workers, c.numVMs, vmRowGrain, func(lo, hi int) {
+				for id := lo; id < hi; id++ {
+					if first[id] < 0 {
+						continue
+					}
+					c.fineStart[id] = first[id]
+					rows := make([]float64, int(last[id]-first[id]+1)*steps)
+					c.fine[id] = rows
+					for sl := first[id]; sl <= last[id]; sl++ {
+						row := rows[int(sl-first[id])*steps:]
+						for k, step := range stepsBySlot[sl] {
+							row[k] = src.Util(id, step)
+						}
 					}
 				}
-			}
-		})
+			})
+		} else {
+			c.fineChunk = chunkWidth(opt, c.fineSlotPeak, c.slots)
+		}
 	}
+	// Window slices are tiny (two slots per VM); cursors need them, and
+	// the fast path consults the recorded footprints.
+	c.first, c.last = first, last
 
 	// Profiles: the controller acting at sl observes obsSlot(sl), so a VM
 	// active over [first, last] needs rows for [max(0, first-1), last-1]
@@ -263,43 +313,57 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 	// sampled at strided steps — the row is assembled from the fine table
 	// instead of re-synthesizing the trace.
 	if c.samples > 0 {
-		filler, _ := src.(slotProfileFiller)
-		var profToFine [][]int
-		if _, utilSampled := src.(*Workload); utilSampled && c.steps > 0 {
-			profToFine = profileToFine(stepsBySlot, c.samples)
+		for id := 0; id < c.numVMs; id++ {
+			if first[id] >= 0 {
+				c.profBytes += int64(obsSlot(last[id])-obsSlot(first[id])+1) * int64(c.samples) * 8
+			}
 		}
-		c.profStart = make([]timeutil.Slot, c.numVMs)
-		c.prof = make([][]float64, c.numVMs)
-		// Per-VM rows again; the fine table above is complete before this
-		// pass starts, so its reads are safe from any shard.
-		par.For(opt.Workers, c.numVMs, vmRowGrain, func(lo, hi int) {
-			for id := lo; id < hi; id++ {
-				if first[id] < 0 {
-					continue
-				}
-				start := obsSlot(first[id])
-				end := obsSlot(last[id])
-				c.profStart[id] = start
-				rows := make([]float64, int(end-start+1)*c.samples)
-				c.prof[id] = rows
-				for sl := start; sl <= end; sl++ {
-					row := rows[int(sl-start)*c.samples : int(sl-start+1)*c.samples]
-					if profToFine != nil && profToFine[sl] != nil {
-						if fr := c.FineRow(id, sl); fr != nil {
-							for i, k := range profToFine[sl] {
-								row[i] = fr[k]
+		c.profSlotPeak = winPeak * int64(c.samples) * 8
+		switch {
+		case opt.MaxFineTableBytes > 0 && c.profBytes > opt.MaxFineTableBytes:
+			// Out-of-core: a ProfileCursor synthesizes chunk windows on
+			// demand; rows come out byte-identical because both paths
+			// evaluate the source's profile at the same sample steps.
+			c.profChunk = chunkWidth(opt, c.profSlotPeak, c.slots)
+		default:
+			filler, _ := src.(slotProfileFiller)
+			var profToFine [][]int
+			if _, utilSampled := src.(*Workload); utilSampled && c.fine != nil {
+				profToFine = profileToFine(c.stepsBySlot, c.samples)
+			}
+			c.profStart = make([]timeutil.Slot, c.numVMs)
+			c.prof = make([][]float64, c.numVMs)
+			// Per-VM rows again; the fine table above is complete before
+			// this pass starts, so its reads are safe from any shard.
+			par.For(opt.Workers, c.numVMs, vmRowGrain, func(lo, hi int) {
+				for id := lo; id < hi; id++ {
+					if first[id] < 0 {
+						continue
+					}
+					start := obsSlot(first[id])
+					end := obsSlot(last[id])
+					c.profStart[id] = start
+					rows := make([]float64, int(end-start+1)*c.samples)
+					c.prof[id] = rows
+					for sl := start; sl <= end; sl++ {
+						row := rows[int(sl-start)*c.samples : int(sl-start+1)*c.samples]
+						if profToFine != nil && profToFine[sl] != nil {
+							if fr := c.FineRow(id, sl); fr != nil {
+								for i, k := range profToFine[sl] {
+									row[i] = fr[k]
+								}
+								continue
 							}
-							continue
+						}
+						if filler != nil {
+							filler.FillSlotProfile(row, id, sl)
+						} else {
+							copy(row, src.SlotProfile(id, sl, c.samples))
 						}
 					}
-					if filler != nil {
-						filler.FillSlotProfile(row, id, sl)
-					} else {
-						copy(row, src.SlotProfile(id, sl, c.samples))
-					}
 				}
-			}
-		})
+			})
+		}
 	}
 
 	// Volume entry lists, realized and planned. Slot 0's planned list is
@@ -314,6 +378,55 @@ func Compile(src Source, opt CompileOptions) *Compiled {
 		}
 	})
 	return c
+}
+
+// chunkWidth sizes the streamed window of an out-of-core table: the widest
+// slot range whose peak resident bytes fit the budget, at least one slot,
+// unless CompileOptions.ChunkSlots pins it explicitly.
+func chunkWidth(opt CompileOptions, slotPeakBytes int64, slots timeutil.Slot) int {
+	w := opt.ChunkSlots
+	if w <= 0 {
+		if slotPeakBytes <= 0 {
+			slotPeakBytes = 1
+		}
+		w = int(opt.MaxFineTableBytes / slotPeakBytes)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if slots > 0 && timeutil.Slot(w) > slots {
+		w = int(slots)
+	}
+	return w
+}
+
+// tablesCompatible reports whether the receiver's materialized tables are
+// what Compile would produce under opt's fine-table configuration. Without
+// this check the already-compiled fast path would hand a budget-capped (or
+// chunked) table back to a caller that asked for a larger or unbounded
+// one.
+func (c *Compiled) tablesCompatible(opt CompileOptions) bool {
+	switch {
+	case opt.MaxFineTableBytes < 0: // fine table disabled
+		if c.steps != 0 {
+			return false
+		}
+	case c.fineBytes <= opt.MaxFineTableBytes: // resident fine table
+		if c.fine == nil {
+			return false
+		}
+	default: // chunk-streamed fine table of the same geometry
+		if c.fineChunk == 0 || c.fineChunk != chunkWidth(opt, c.fineSlotPeak, c.slots) {
+			return false
+		}
+	}
+	if c.samples <= 0 {
+		return true
+	}
+	if opt.MaxFineTableBytes > 0 && c.profBytes > opt.MaxFineTableBytes {
+		return c.profChunk == chunkWidth(opt, c.profSlotPeak, c.slots)
+	}
+	return c.prof != nil
 }
 
 // Shard grains of Compile's parallel passes (see internal/par: fixed
@@ -360,15 +473,35 @@ func (c *Compiled) Util(id int, st timeutil.Step) float64 { return c.src.Util(id
 func (c *Compiled) Samples() int { return c.samples }
 
 // FineParams returns the fine-loop period the utilization rows were sampled
-// at and the number of steps per slot; steps is 0 when the fine table was
-// not compiled (memory budget exceeded or disabled).
+// at and the number of steps per slot; steps is 0 only when the fine table
+// was disabled outright. A chunk-streamed table reports its steps here but
+// serves rows through a FineCursor, not FineRow.
 func (c *Compiled) FineParams() (dt float64, steps int) { return c.dt, c.steps }
+
+// FineChunked reports whether the fine table is out-of-core: rows are
+// served by a per-run FineCursor instead of FineRow, in windows of
+// FineChunkSlots slots.
+func (c *Compiled) FineChunked() bool { return c.fineChunk > 0 }
+
+// ProfileChunked reports whether the per-slot profile table is out-of-core:
+// rows are served by a per-run ProfileCursor instead of ProfileRow.
+func (c *Compiled) ProfileChunked() bool { return c.profChunk > 0 }
+
+// FineChunkSlots and ProfileChunkSlots return the streamed window widths in
+// slots (0 when the corresponding table is resident or absent).
+func (c *Compiled) FineChunkSlots() int    { return c.fineChunk }
+func (c *Compiled) ProfileChunkSlots() int { return c.profChunk }
+
+// TableBytes returns the resident cost the full fine and profile tables
+// would have — what an unbounded compile allocates, and what the chunked
+// modes avoid.
+func (c *Compiled) TableBytes() (fine, prof int64) { return c.fineBytes, c.profBytes }
 
 // FineRow returns the VM's utilization at every fine step of slot sl — row
 // k is Util at the k-th iteration of the simulator's fine loop — or nil
 // when the table does not cover (id, sl). The row is shared and read-only.
 func (c *Compiled) FineRow(id int, sl timeutil.Slot) []float64 {
-	if c.steps == 0 || id < 0 || id >= c.numVMs || c.fine[id] == nil {
+	if c.steps == 0 || c.fine == nil || id < 0 || id >= c.numVMs || c.fine[id] == nil {
 		return nil
 	}
 	off := int(sl - c.fineStart[id])
@@ -382,7 +515,7 @@ func (c *Compiled) FineRow(id int, sl timeutil.Slot) []float64 {
 // table does not cover (id, sl). The row is shared and read-only — hand it
 // to a correlation.ProfileSet without copying.
 func (c *Compiled) ProfileRow(id int, sl timeutil.Slot) []float64 {
-	if c.samples <= 0 || id < 0 || id >= c.numVMs || c.prof[id] == nil {
+	if c.samples <= 0 || c.prof == nil || id < 0 || id >= c.numVMs || c.prof[id] == nil {
 		return nil
 	}
 	off := int(sl - c.profStart[id])

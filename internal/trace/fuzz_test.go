@@ -28,6 +28,11 @@ func FuzzLoadReplay(f *testing.F) {
 	f.Add("id,arrival_slot,depart_slot,image_gb\n0,0,99999999,2.000\n", "id,slot,s0\n0,99999999,0.5\n", "slot,from,to,bytes\n-1,0,0,1\n")
 	f.Add("id,arrival_slot,depart_slot,image_gb\n7,0,3,nan\n", "id,slot,s0\n7,0,inf\n", "slot,from,to,bytes\n0,7,9,xyz\n")
 	f.Add("id,arrival_slot,depart_slot,image_gb\n999999999999,0,3,1.0\n", fuzzProfiles, fuzzVolumes)
+	// The loader's strict-rejection classes: duplicate VM ids, ragged
+	// profile rows, and volume rows outside the declared horizon.
+	f.Add("id,arrival_slot,depart_slot,image_gb\n0,0,3,2.000\n0,1,4,4.000\n", fuzzProfiles, fuzzVolumes)
+	f.Add(fuzzVMs, "id,slot,s0,s1\n0,0,0.2000,0.4000\n1,1,0.1000\n", fuzzVolumes)
+	f.Add(fuzzVMs, fuzzProfiles, "slot,from,to,bytes\n4096,0,1,1000000\n")
 	f.Add("", "", "")
 	f.Fuzz(func(t *testing.T, vms, profiles, volumes string) {
 		if len(vms)+len(profiles)+len(volumes) > 1<<14 {

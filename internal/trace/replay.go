@@ -22,9 +22,17 @@ import (
 //	vms.csv       id,arrival_slot,depart_slot,image_gb
 //	profiles.csv  id,slot,s0,s1,...,s{n-1}   (per-slot utilization samples)
 //	volumes.csv   slot,from,to,bytes         (directed inter-VM transfers)
+//	segments.csv  id,start_slot,end_slot     (optional activity runs)
 //
 // Utilization between profile samples is held piecewise constant; slots
-// without a profile row read as zero demand.
+// without a profile row read as zero demand. A VM is active over
+// [arrival, depart) unless segments.csv lists explicit activity runs for it
+// — the export path writes those for VMs with idle slots mid-trace, so a
+// gapped lifetime round-trips instead of being inflated to its full span.
+//
+// Malformed input is a load error, never silent data loss: duplicate VM
+// ids, profile rows whose sample count disagrees with the first row, and
+// volume rows outside the declared horizon all fail the load.
 type Replay struct {
 	slots   timeutil.Slot
 	samples int
@@ -39,7 +47,13 @@ type Replay struct {
 type replayVM struct {
 	arrival, depart timeutil.Slot
 	image           units.DataSize
+	// segs lists the VM's activity runs when its lifetime is gapped;
+	// nil means contiguous [arrival, depart).
+	segs []slotSpan
 }
+
+// slotSpan is a half-open activity run [start, end).
+type slotSpan struct{ start, end timeutil.Slot }
 
 // NumVMs implements Source.
 func (r *Replay) NumVMs() int { return len(r.vms) }
@@ -49,6 +63,10 @@ func (r *Replay) Slots() timeutil.Slot { return r.slots }
 
 // Image implements Source.
 func (r *Replay) Image(id int) units.DataSize { return r.vms[id].image }
+
+// Samples returns the per-slot sample count of the stored profiles (0 when
+// the replay has no profile rows).
+func (r *Replay) Samples() int { return r.samples }
 
 // ActiveVMs implements Source.
 func (r *Replay) ActiveVMs(sl timeutil.Slot) []int {
@@ -129,11 +147,25 @@ func (r *Replay) aliveAt(id int, sl timeutil.Slot) bool {
 		return false
 	}
 	v := r.vms[id]
-	return sl >= v.arrival && sl < v.depart
+	if sl < v.arrival || sl >= v.depart {
+		return false
+	}
+	if v.segs == nil {
+		return true
+	}
+	for _, s := range v.segs {
+		if sl >= s.start && sl < s.end {
+			return true
+		}
+	}
+	return false
 }
 
 // ExportReplay writes any Source's first `slots` slots to dir in the replay
-// CSV format with `samples` utilization samples per slot.
+// CSV format with `samples` utilization samples per slot. VMs whose
+// activity is gapped within the window additionally get their runs written
+// to segments.csv, so LoadReplay reconstructs the exact active sets rather
+// than the inflated [first, last] span.
 func ExportReplay(src Source, dir string, slots timeutil.Slot, samples int) error {
 	if slots > src.Slots() {
 		slots = src.Slots()
@@ -145,22 +177,26 @@ func ExportReplay(src Source, dir string, slots timeutil.Slot, samples int) erro
 		return err
 	}
 
-	// vms.csv — only VMs that appear within the exported window.
-	seen := map[int]bool{}
-	first := map[int]timeutil.Slot{}
-	last := map[int]timeutil.Slot{}
+	// Activity runs per VM that appears within the exported window.
+	runs := map[int][]slotSpan{}
 	for sl := timeutil.Slot(0); sl < slots; sl++ {
 		for _, id := range src.ActiveVMs(sl) {
-			if !seen[id] {
-				seen[id] = true
-				first[id] = sl
+			rs := runs[id]
+			if n := len(rs); n > 0 && rs[n-1].end == sl {
+				rs[n-1].end = sl + 1
+			} else {
+				rs = append(rs, slotSpan{sl, sl + 1})
 			}
-			last[id] = sl
+			runs[id] = rs
 		}
 	}
-	ids := make([]int, 0, len(seen))
-	for id := range seen {
+	ids := make([]int, 0, len(runs))
+	gapped := false
+	for id, rs := range runs {
 		ids = append(ids, id)
+		if len(rs) > 1 {
+			gapped = true
+		}
 	}
 	sort.Ints(ids)
 
@@ -171,16 +207,45 @@ func ExportReplay(src Source, dir string, slots timeutil.Slot, samples int) erro
 	vw := csv.NewWriter(vf)
 	_ = vw.Write([]string{"id", "arrival_slot", "depart_slot", "image_gb"})
 	for _, id := range ids {
+		rs := runs[id]
 		_ = vw.Write([]string{
 			strconv.Itoa(id),
-			strconv.FormatInt(int64(first[id]), 10),
-			strconv.FormatInt(int64(last[id]+1), 10),
+			strconv.FormatInt(int64(rs[0].start), 10),
+			strconv.FormatInt(int64(rs[len(rs)-1].end), 10),
 			strconv.FormatFloat(src.Image(id).GB(), 'f', 3, 64),
 		})
 	}
 	vw.Flush()
 	if err := firstErr(vw.Error(), vf.Close()); err != nil {
 		return err
+	}
+
+	// segments.csv — only when some lifetime is gapped, so dirs exported
+	// from contiguous sources keep the three-file layout.
+	if gapped {
+		sf, err := os.Create(filepath.Join(dir, "segments.csv"))
+		if err != nil {
+			return err
+		}
+		sw := csv.NewWriter(sf)
+		_ = sw.Write([]string{"id", "start_slot", "end_slot"})
+		for _, id := range ids {
+			rs := runs[id]
+			if len(rs) < 2 {
+				continue
+			}
+			for _, s := range rs {
+				_ = sw.Write([]string{
+					strconv.Itoa(id),
+					strconv.FormatInt(int64(s.start), 10),
+					strconv.FormatInt(int64(s.end), 10),
+				})
+			}
+		}
+		sw.Flush()
+		if err := firstErr(sw.Error(), sf.Close()); err != nil {
+			return err
+		}
 	}
 
 	// profiles.csv
@@ -247,15 +312,13 @@ const (
 	maxReplayVMs   = 1 << 20
 )
 
-// LoadReplay reads a replay-format directory.
+// LoadReplay reads a replay-format directory. Files are streamed row by
+// row — no file is materialized whole — so a fleet-scale trace costs only
+// its parsed tables.
 func LoadReplay(dir string) (*Replay, error) {
 	r := &Replay{}
 
 	// vms.csv
-	rows, err := readCSV(filepath.Join(dir, "vms.csv"), 4)
-	if err != nil {
-		return nil, err
-	}
 	maxID := -1
 	type vmRow struct {
 		id              int
@@ -263,23 +326,28 @@ func LoadReplay(dir string) (*Replay, error) {
 		image           units.DataSize
 	}
 	var vms []vmRow
-	for _, row := range rows {
+	seen := map[int]bool{}
+	err := forEachCSVRow(filepath.Join(dir, "vms.csv"), 4, func(row []string) error {
 		id, err1 := strconv.Atoi(row[0])
 		arr, err2 := strconv.ParseInt(row[1], 10, 64)
 		dep, err3 := strconv.ParseInt(row[2], 10, 64)
 		gb, err4 := strconv.ParseFloat(row[3], 64)
 		if err := firstErr(err1, err2, err3, err4); err != nil {
-			return nil, fmt.Errorf("trace: vms.csv: %w", err)
+			return fmt.Errorf("trace: vms.csv: %w", err)
 		}
 		if id < 0 || arr < 0 || dep < arr {
-			return nil, fmt.Errorf("trace: vms.csv: invalid VM row %v", row)
+			return fmt.Errorf("trace: vms.csv: invalid VM row %v", row)
 		}
 		if id >= maxReplayVMs {
-			return nil, fmt.Errorf("trace: vms.csv: id %d beyond the %d-VM replay bound", id, maxReplayVMs)
+			return fmt.Errorf("trace: vms.csv: id %d beyond the %d-VM replay bound", id, maxReplayVMs)
 		}
 		if dep > maxReplaySlots {
-			return nil, fmt.Errorf("trace: vms.csv: depart slot %d beyond the %d-slot replay bound", dep, maxReplaySlots)
+			return fmt.Errorf("trace: vms.csv: depart slot %d beyond the %d-slot replay bound", dep, maxReplaySlots)
 		}
+		if seen[id] {
+			return fmt.Errorf("trace: vms.csv: duplicate VM id %d", id)
+		}
+		seen[id] = true
 		vms = append(vms, vmRow{id, timeutil.Slot(arr), timeutil.Slot(dep), units.DataSize(gb * 1e9)})
 		if id > maxID {
 			maxID = id
@@ -287,26 +355,66 @@ func LoadReplay(dir string) (*Replay, error) {
 		if timeutil.Slot(dep) > r.slots {
 			r.slots = timeutil.Slot(dep)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r.vms = make([]replayVM, maxID+1)
 	for _, v := range vms {
 		r.vms[v.id] = replayVM{arrival: v.arrival, depart: v.depart, image: v.image}
 	}
 
-	// profiles.csv
-	rows, err = readCSV(filepath.Join(dir, "profiles.csv"), 3)
-	if err != nil {
+	// segments.csv (optional) — explicit activity runs for gapped VMs.
+	segs := map[int][]slotSpan{}
+	err = forEachCSVRow(filepath.Join(dir, "segments.csv"), 3, func(row []string) error {
+		id, err1 := strconv.Atoi(row[0])
+		start, err2 := strconv.ParseInt(row[1], 10, 64)
+		end, err3 := strconv.ParseInt(row[2], 10, 64)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return fmt.Errorf("trace: segments.csv: %w", err)
+		}
+		if id < 0 || id > maxID || !seen[id] {
+			return fmt.Errorf("trace: segments.csv: segment for undeclared VM id %v", row[0])
+		}
+		v := r.vms[id]
+		if start < 0 || end <= start ||
+			timeutil.Slot(start) < v.arrival || timeutil.Slot(end) > v.depart {
+			return fmt.Errorf("trace: segments.csv: segment %v outside VM %d's lifetime [%d,%d)",
+				row, id, v.arrival, v.depart)
+		}
+		segs[id] = append(segs[id], slotSpan{timeutil.Slot(start), timeutil.Slot(end)})
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
+	for id, rs := range segs {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].start < rs[j].start })
+		for i := 1; i < len(rs); i++ {
+			if rs[i].start < rs[i-1].end {
+				return nil, fmt.Errorf("trace: segments.csv: overlapping segments for VM %d", id)
+			}
+		}
+		r.vms[id].segs = rs
+	}
+
+	// profiles.csv
 	r.profiles = make([][][]float64, maxID+1)
-	for _, row := range rows {
+	err = forEachCSVRow(filepath.Join(dir, "profiles.csv"), 3, func(row []string) error {
 		id, err1 := strconv.Atoi(row[0])
 		sl, err2 := strconv.ParseInt(row[1], 10, 64)
 		if err := firstErr(err1, err2); err != nil {
-			return nil, fmt.Errorf("trace: profiles.csv: %w", err)
+			return fmt.Errorf("trace: profiles.csv: %w", err)
 		}
 		if id < 0 || id > maxID || sl < 0 || sl >= maxReplaySlots {
-			return nil, fmt.Errorf("trace: profiles.csv: bad row %v", row)
+			return fmt.Errorf("trace: profiles.csv: bad row %v", row)
+		}
+		if r.samples == 0 {
+			r.samples = len(row) - 2
+		} else if len(row)-2 != r.samples {
+			return fmt.Errorf("trace: profiles.csv: ragged row for VM %d slot %d: %d samples, want %d",
+				id, sl, len(row)-2, r.samples)
 		}
 		if timeutil.Slot(sl) >= r.slots {
 			r.slots = timeutil.Slot(sl) + 1
@@ -315,12 +423,9 @@ func LoadReplay(dir string) (*Replay, error) {
 		for i, cell := range row[2:] {
 			u, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
-				return nil, fmt.Errorf("trace: profiles.csv: %w", err)
+				return fmt.Errorf("trace: profiles.csv: %w", err)
 			}
 			prof[i] = u
-		}
-		if r.samples == 0 {
-			r.samples = len(prof)
 		}
 		if r.profiles[id] == nil {
 			r.profiles[id] = make([][]float64, 0)
@@ -329,31 +434,44 @@ func LoadReplay(dir string) (*Replay, error) {
 			r.profiles[id] = append(r.profiles[id], nil)
 		}
 		r.profiles[id][sl] = prof
-	}
-
-	// volumes.csv (optional).
-	rows, err = readCSV(filepath.Join(dir, "volumes.csv"), 4)
-	if err != nil && !os.IsNotExist(err) {
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
+
+	// volumes.csv (optional). A row outside the declared horizon would be
+	// silently unreachable by the simulator, so it is a load error.
 	r.volumes = make([][]VolumeEntry, r.slots)
-	for _, row := range rows {
+	err = forEachCSVRow(filepath.Join(dir, "volumes.csv"), 4, func(row []string) error {
 		sl, err1 := strconv.ParseInt(row[0], 10, 64)
 		from, err2 := strconv.Atoi(row[1])
 		to, err3 := strconv.Atoi(row[2])
 		bytes, err4 := strconv.ParseFloat(row[3], 64)
 		if err := firstErr(err1, err2, err3, err4); err != nil {
-			return nil, fmt.Errorf("trace: volumes.csv: %w", err)
+			return fmt.Errorf("trace: volumes.csv: %w", err)
 		}
 		if sl < 0 || int(sl) >= len(r.volumes) {
-			continue
+			return fmt.Errorf("trace: volumes.csv: slot %d outside the %d-slot horizon", sl, len(r.volumes))
 		}
 		r.volumes[sl] = append(r.volumes[sl], VolumeEntry{From: from, To: to, Vol: units.DataSize(bytes)})
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
 	}
 
 	// Active index.
 	r.active = make([][]int, r.slots)
 	for id, v := range r.vms {
+		if v.segs != nil {
+			for _, s := range v.segs {
+				for sl := s.start; sl < s.end && sl < r.slots; sl++ {
+					r.active[sl] = append(r.active[sl], id)
+				}
+			}
+			continue
+		}
 		for sl := v.arrival; sl < v.depart && sl < r.slots; sl++ {
 			r.active[sl] = append(r.active[sl], id)
 		}
@@ -361,35 +479,46 @@ func LoadReplay(dir string) (*Replay, error) {
 	return r, nil
 }
 
-// readCSV loads a CSV file, skipping the header row and enforcing a minimum
-// column count.
-func readCSV(path string, minCols int) ([][]string, error) {
+// forEachCSVRow streams a CSV file row by row, skipping the header and
+// enforcing a minimum column count. The row slice is reused between calls;
+// fn must not retain it. Unlike a whole-file load, memory stays bounded by
+// one record regardless of trace size.
+func forEachCSVRow(path string, minCols int, fn func(row []string) error) error {
+	first := true
+	return forEachCSVRowRaw(path, func(row []string) error {
+		if first {
+			first = false
+			return nil
+		}
+		if len(row) < minCols {
+			return fmt.Errorf("trace: %s: row %v has %d columns, want >= %d",
+				filepath.Base(path), row, len(row), minCols)
+		}
+		return fn(row)
+	})
+}
+
+// forEachCSVRowRaw streams every row of path, header included. The row
+// slice is reused between calls; fn must not retain it.
+func forEachCSVRowRaw(path string, fn func(row []string) error) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
 	cr := csv.NewReader(f)
 	cr.FieldsPerRecord = -1
-	var rows [][]string
-	first := true
+	cr.ReuseRecord = true
 	for {
 		row, err := cr.Read()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: %s: %w", filepath.Base(path), err)
+			return fmt.Errorf("trace: %s: %w", filepath.Base(path), err)
 		}
-		if first {
-			first = false
-			continue
+		if err := fn(row); err != nil {
+			return err
 		}
-		if len(row) < minCols {
-			return nil, fmt.Errorf("trace: %s: row %v has %d columns, want >= %d",
-				filepath.Base(path), row, len(row), minCols)
-		}
-		rows = append(rows, row)
 	}
-	return rows, nil
 }

@@ -1,9 +1,11 @@
 package trace
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"geovmp/internal/timeutil"
@@ -180,5 +182,229 @@ func TestExportReplayClampsSlots(t *testing.T) {
 	}
 	if r.Slots() > 3 {
 		t.Fatalf("exported %d slots from a 3-slot workload", r.Slots())
+	}
+}
+
+// gappedSource is a hand-built Source whose VM 0 goes idle mid-lifetime
+// (active over [0,2) and [4,6)) — the shape that used to round-trip
+// through ExportReplay/LoadReplay inflated to the full [0,6) span.
+type gappedSource struct{}
+
+func (gappedSource) NumVMs() int              { return 2 }
+func (gappedSource) Slots() timeutil.Slot     { return 6 }
+func (gappedSource) Image(int) units.DataSize { return 2 * units.Gigabyte }
+
+func (gappedSource) ActiveVMs(sl timeutil.Slot) []int {
+	switch {
+	case sl < 0 || sl >= 6:
+		return nil
+	case sl >= 2 && sl < 4:
+		return []int{1} // VM 0's gap
+	case sl >= 1:
+		return []int{0, 1}
+	default:
+		return []int{0}
+	}
+}
+
+func (g gappedSource) Util(id int, st timeutil.Step) float64 {
+	return 0.1 + 0.05*float64(id) + 0.01*float64(st.Slot())
+}
+
+func (g gappedSource) SlotProfile(id int, sl timeutil.Slot, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Util(id, sl.Start())
+	}
+	return out
+}
+
+func (gappedSource) Volumes(sl timeutil.Slot) []VolumeEntry {
+	if sl == 1 || sl == 5 {
+		return []VolumeEntry{{From: 0, To: 1, Vol: 3 * units.Megabyte}}
+	}
+	return nil
+}
+
+func (g gappedSource) PlannedVolumes(obs, act timeutil.Slot) []VolumeEntry {
+	return g.Volumes(obs)
+}
+
+// TestReplayRoundTripProperty is the pipeline equivalence property: for
+// synthetic presets x seeds plus the gapped hand-built source, an
+// Export -> Load round trip must reproduce the exact active sets, the
+// stored-resolution profiles (to CSV precision), the volume lists and the
+// image sizes. In particular gapped lifetimes must not inflate: the
+// pre-segments.csv exporter wrote depart = last+1, resurrecting VMs
+// through their idle slots.
+func TestReplayRoundTripProperty(t *testing.T) {
+	sources := []struct {
+		name string
+		src  Source
+	}{
+		{"gapped", gappedSource{}},
+	}
+	for _, preset := range []Config{
+		{Horizon: timeutil.Hours(8), InitialVMs: 30, MeanLifeSlots: 3},
+		{Horizon: timeutil.Hours(6), InitialVMs: 20, ClassWeights: []float64{1, 0, 0, 0}},
+	} {
+		for _, seed := range []uint64{1, 2} {
+			cfg := preset
+			cfg.Seed = seed
+			sources = append(sources, struct {
+				name string
+				src  Source
+			}{fmt.Sprintf("synthetic-%dvm-seed%d", cfg.InitialVMs, seed), New(cfg)})
+		}
+	}
+	const samples = 8
+	for _, tc := range sources {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := ExportReplay(tc.src, dir, tc.src.Slots(), samples); err != nil {
+				t.Fatal(err)
+			}
+			r, err := LoadReplay(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sl := timeutil.Slot(0); sl < tc.src.Slots(); sl++ {
+				a, b := tc.src.ActiveVMs(sl), r.ActiveVMs(sl)
+				if len(a) != len(b) {
+					t.Fatalf("slot %d: active %v vs %v", sl, a, b)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("slot %d: active %v vs %v", sl, a, b)
+					}
+				}
+				for _, id := range a {
+					want := tc.src.SlotProfile(id, sl, samples)
+					got := r.SlotProfile(id, sl, samples)
+					for i := range want {
+						if math.Abs(want[i]-got[i]) > 1e-3 { // CSV keeps 4 decimals
+							t.Fatalf("vm %d slot %d sample %d: %v vs %v", id, sl, i, want[i], got[i])
+						}
+					}
+					if math.Abs(r.Image(id).GB()-tc.src.Image(id).GB()) > 1e-3 {
+						t.Fatalf("vm %d image %v vs %v", id, r.Image(id), tc.src.Image(id))
+					}
+				}
+				wv, rv := tc.src.Volumes(sl), r.Volumes(sl)
+				if len(wv) != len(rv) {
+					t.Fatalf("slot %d: %d vs %d volume entries", sl, len(wv), len(rv))
+				}
+				for i := range wv {
+					if wv[i].From != rv[i].From || wv[i].To != rv[i].To ||
+						math.Abs(wv[i].Vol.Bytes()-rv[i].Vol.Bytes()) > 1 {
+						t.Fatalf("slot %d entry %d: %+v vs %+v", sl, i, wv[i], rv[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExportReplayWritesSegments pins the on-disk shape of the gap fix:
+// a gapped source gets a segments.csv, a contiguous one keeps the
+// three-file layout.
+func TestExportReplayWritesSegments(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportReplay(gappedSource{}, dir, 6, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "segments.csv")); err != nil {
+		t.Fatalf("gapped export should write segments.csv: %v", err)
+	}
+	r, err := LoadReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gap slots must not list VM 0.
+	for _, sl := range []timeutil.Slot{2, 3} {
+		for _, id := range r.ActiveVMs(sl) {
+			if id == 0 {
+				t.Fatalf("slot %d resurrects VM 0 through its gap", sl)
+			}
+		}
+	}
+
+	contiguous := t.TempDir()
+	w := New(Config{Seed: 3, Horizon: timeutil.Hours(3), InitialVMs: 10})
+	if err := ExportReplay(w, contiguous, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(contiguous, "segments.csv")); !os.IsNotExist(err) {
+		t.Fatalf("contiguous export should not write segments.csv (stat err: %v)", err)
+	}
+}
+
+// TestLoadReplayStrictness covers the loader's hard-error contract: rows
+// that the pre-fix loader silently dropped or last-win-overwrote are now
+// load failures.
+func TestLoadReplayStrictness(t *testing.T) {
+	base := map[string]string{
+		"vms.csv":      "id,arrival_slot,depart_slot,image_gb\n0,0,2,2.000\n1,0,3,4.000\n",
+		"profiles.csv": "id,slot,s0,s1\n0,0,0.2000,0.4000\n1,0,0.1000,0.2000\n",
+		"volumes.csv":  "slot,from,to,bytes\n0,0,1,1000\n",
+	}
+	cases := []struct {
+		name      string
+		file      string
+		content   string
+		wantInErr string
+	}{
+		{"duplicate VM id", "vms.csv",
+			"id,arrival_slot,depart_slot,image_gb\n0,0,2,2.000\n0,1,3,4.000\n",
+			"duplicate VM id"},
+		{"ragged profile row", "profiles.csv",
+			"id,slot,s0,s1\n0,0,0.2000,0.4000\n1,0,0.1000\n",
+			"ragged"},
+		{"out-of-horizon volume", "volumes.csv",
+			"slot,from,to,bytes\n99,0,1,1000\n",
+			"outside"},
+		{"negative-slot volume", "volumes.csv",
+			"slot,from,to,bytes\n-1,0,1,1000\n",
+			"outside"},
+		{"segment for undeclared VM", "segments.csv",
+			"id,start_slot,end_slot\n7,0,1\n",
+			"undeclared"},
+		{"segment outside lifetime", "segments.csv",
+			"id,start_slot,end_slot\n0,0,5\n",
+			"lifetime"},
+		{"overlapping segments", "segments.csv",
+			"id,start_slot,end_slot\n1,0,2\n1,1,3\n",
+			"overlapping"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for name, content := range base {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.WriteFile(filepath.Join(dir, tc.file), []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadReplay(dir)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantInErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantInErr)
+			}
+		})
+	}
+
+	// The base triple itself must load: the strictness is in the variants.
+	dir := t.TempDir()
+	for name, content := range base {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadReplay(dir); err != nil {
+		t.Fatalf("base replay rejected: %v", err)
 	}
 }

@@ -112,6 +112,7 @@ type Service struct {
 	ID       int
 	Class    Class
 	PeakHour float64
+	Template int // index into Config.Templates, -1 for the built-in classes
 	Members  []int
 	pairs    []pair
 }
@@ -148,6 +149,13 @@ type Config struct {
 	// (1 + wave*cos(2*pi*(h-14)/24)), peaking mid-afternoon UTC. 0 keeps
 	// arrivals stationary.
 	ArrivalWave float64
+	// Templates optionally calibrates the generator to fitted usage
+	// templates (see FitTemplates): new services draw a template by
+	// weight instead of a class from ClassWeights, and member VMs draw
+	// their trace parameters around the fitted values instead of the
+	// built-in class ranges. Empty keeps the paper's synthetic families —
+	// and the generator's output bit-identical to a template-free Config.
+	Templates []UsageTemplate
 }
 
 func (c *Config) applyDefaults() {
@@ -219,7 +227,11 @@ func New(cfg Config) *Workload {
 			Image:   drawImage(imgSrc),
 			seed:    rng.Hash(cfg.Seed, uint64(id), 0xA11CE),
 		}
-		vm.parameterize(s, paramSrc)
+		var tmpl *UsageTemplate
+		if s.Template >= 0 {
+			tmpl = &cfg.Templates[s.Template]
+		}
+		vm.parameterize(s, tmpl, paramSrc)
 		w.vms = append(w.vms, vm)
 		w.connect(s, vm, volSrc)
 		s.Members = append(s.Members, id)
@@ -266,12 +278,25 @@ func (c *Config) rateAt(sl timeutil.Slot) float64 {
 
 // pickService returns the service a new VM joins, creating one when the
 // geometric coin says so (expected size MeanServiceVMs). New services draw
-// their class from the arrival slot's mix.
+// their class from the arrival slot's mix — or, when the workload is
+// template-calibrated, a fitted template by weight.
 func (w *Workload) pickService(svcSrc, classSrc *rng.Source, mix []float64) int {
 	if len(w.services) == 0 || svcSrc.Float64() < 1/w.cfg.MeanServiceVMs {
 		id := len(w.services)
-		class := Class(classSrc.Categorical(mix))
-		s := &Service{ID: id, Class: class, PeakHour: servicePeakHour(class, svcSrc)}
+		s := &Service{ID: id, Template: -1}
+		if ts := w.cfg.Templates; len(ts) > 0 {
+			weights := make([]float64, len(ts))
+			for i, t := range ts {
+				weights[i] = t.Weight
+			}
+			s.Template = classSrc.Categorical(weights)
+			t := ts[s.Template]
+			s.Class = t.Class
+			s.PeakHour = t.PeakHour + svcSrc.Range(-1.5, 1.5)
+		} else {
+			s.Class = Class(classSrc.Categorical(mix))
+			s.PeakHour = servicePeakHour(s.Class, svcSrc)
+		}
 		w.services = append(w.services, s)
 		return id
 	}
@@ -293,9 +318,20 @@ func servicePeakHour(c Class, src *rng.Source) float64 {
 	}
 }
 
-// parameterize draws the VM's base-day trace parameters from its class.
-func (v *VM) parameterize(s *Service, src *rng.Source) {
+// parameterize draws the VM's base-day trace parameters from its class, or
+// around the service's fitted template when the workload is calibrated
+// (±15% on the level, ±20% on the noise terms, keeping per-VM diversity
+// without leaving the fitted family).
+func (v *VM) parameterize(s *Service, tmpl *UsageTemplate, src *rng.Source) {
 	v.peakHour = s.PeakHour
+	if tmpl != nil {
+		v.mean = units.Clamp(tmpl.Mean*src.Range(0.85, 1.15), 0.02, 0.95)
+		v.amp = tmpl.Amp * src.Range(0.8, 1.2)
+		v.fastAmp = tmpl.FastAmp * src.Range(0.8, 1.2)
+		v.slowAmp = tmpl.SlowAmp * src.Range(0.8, 1.2)
+		v.dayVar = tmpl.DayVar
+		return
+	}
 	switch v.Class {
 	case ClassWebSearch:
 		v.mean = src.Range(0.25, 0.45)
