@@ -7,11 +7,13 @@
 package geovmp
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"geovmp/internal/core"
 	"geovmp/internal/experiment"
@@ -804,6 +806,135 @@ func BenchmarkFaultSweep(b *testing.B) {
 			RepairGB:     repairGB,
 			Evacuations:  evacs,
 			NsPerOp:      float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+}
+
+// benchDistExperiment is the distributed-sweep benchmark grid: the shared
+// reduced scenario under the four standard policies and three seeds — the
+// same grid BenchmarkExperimentSweep runs in-process, so the two cells/s
+// numbers are directly comparable.
+func benchDistExperiment() *Experiment {
+	return NewExperiment(
+		WithScenarios(benchSpec()),
+		WithPolicies(StandardPolicies(0.9)...),
+		WithSeeds(3),
+	)
+}
+
+// BenchmarkDistSweep measures the coordinator/worker grid against the
+// in-process engine on the same 12-cell grid: sub-benchmark "local" is the
+// plain parallel sweep, "workers1" and "workers2" lease every cell over the
+// HTTP protocol to one and two connected workers (each evaluating serially,
+// as a one-core-per-worker deployment would). The merged export is asserted
+// byte-identical to the local run's every iteration, so the benchmark also
+// guards the bit-identical-merge contract. Reported: cells per second per
+// variant and the protocol overhead of workers1 versus local — on one host
+// that overhead is all the distribution costs (leases, heartbeats, JSON
+// rows, re-compiled columns); across real machines it is what scaling must
+// amortize.
+//
+// When GEOVMP_BENCH_DIST_JSON names a path, the workers2 variant writes the
+// headline numbers there (CI uploads it as BENCH_dist.json and the
+// benchdiff gate holds cells_per_sec to the committed baseline).
+func BenchmarkDistSweep(b *testing.B) {
+	var localJSON []byte
+	var localCellsPerSec float64
+	b.Run("local", func(b *testing.B) {
+		var set *ResultSet
+		for i := 0; i < b.N; i++ {
+			var err error
+			set, err = benchDistExperiment().Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var err error
+		localJSON, err = set.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		localCellsPerSec = float64(len(set.Cells)) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(localCellsPerSec, "cells/s")
+	})
+
+	runDist := func(b *testing.B, nWorkers int) (cellsPerSec float64) {
+		b.Helper()
+		var cells int
+		for i := 0; i < b.N; i++ {
+			coord, err := NewCoordinator(CoordinatorConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, nWorkers)
+			for w := 0; w < nWorkers; w++ {
+				name := string(rune('a' + w))
+				go func() {
+					done <- RunDistWorker(ctx, DistWorkerConfig{
+						Coordinator: coord.URL(),
+						Name:        name,
+						Parallelism: 1,
+						Poll:        5 * time.Millisecond,
+					})
+				}()
+			}
+			set, err := benchDistExperiment().RunDistributed(ctx, coord)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord.Finish()
+			for w := 0; w < nWorkers; w++ {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			cancel()
+			coord.Close()
+			got, err := set.JSON()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if localJSON != nil && !bytes.Equal(got, localJSON) {
+				b.Fatal("distributed export differs from local export")
+			}
+			cells = len(set.Cells)
+		}
+		cellsPerSec = float64(cells) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(cellsPerSec, "cells/s")
+		return cellsPerSec
+	}
+
+	var oneWorkerCellsPerSec float64
+	b.Run("workers1", func(b *testing.B) {
+		oneWorkerCellsPerSec = runDist(b, 1)
+		if localCellsPerSec > 0 {
+			b.ReportMetric((localCellsPerSec/oneWorkerCellsPerSec-1)*100, "pct-overhead-vs-local")
+		}
+	})
+	b.Run("workers2", func(b *testing.B) {
+		cellsPerSec := runDist(b, 2)
+		if oneWorkerCellsPerSec > 0 {
+			b.ReportMetric(cellsPerSec/oneWorkerCellsPerSec, "speedup-vs-1-worker")
+		}
+		path := os.Getenv("GEOVMP_BENCH_DIST_JSON")
+		if path == "" || b.N == 0 {
+			return
+		}
+		writeBenchJSON(b, path, struct {
+			Benchmark        string  `json:"benchmark"`
+			N                int     `json:"n"`
+			CellsPerSec      float64 `json:"cells_per_sec"`
+			OneWorkerPerSec  float64 `json:"one_worker_cells_per_sec"`
+			LocalCellsPerSec float64 `json:"local_cells_per_sec"`
+			NsPerOp          float64 `json:"ns_per_op"`
+		}{
+			Benchmark:        "BenchmarkDistSweep/workers2",
+			N:                b.N,
+			CellsPerSec:      cellsPerSec,
+			OneWorkerPerSec:  oneWorkerCellsPerSec,
+			LocalCellsPerSec: localCellsPerSec,
+			NsPerOp:          float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 		})
 	})
 }

@@ -9,9 +9,20 @@
 //	experiments [-exp all|table1|fig1..fig6|figs|alpha|noembed|qos|battery|forecast|epochs|frontier|failures]
 //	            [-scale 0.05] [-seed 42] [-seeds 1] [-days 7] [-finestep 60]
 //	            [-par 0] [-out results] [-json results/cells.json]
+//	            [-coordinator host:port] [-checkpoint sweep.ckpt.json]
+//	            [-resume sweep.ckpt.json]
 //	            [-tracedir replaydir | -ingest-vms vms.csv -ingest-cpu cpu.csv]
 //	            [-finebudget bytes] [-chunkslots n]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
+//
+// -coordinator runs the sweep distributed: instead of computing cells in
+// this process, the grid is served over the worker lease protocol on the
+// given address and any number of geovmp-worker processes (on this or other
+// machines) evaluate the cells; the merged ResultSet is byte-identical to a
+// local run. -checkpoint (coordinator mode) persists completed cells after
+// every result; -resume preloads such a checkpoint — or any ResultSet JSON
+// export — so already-completed cells are not recomputed, in both the
+// single-process and coordinator paths. See README "Distributed sweeps".
 //
 // The profiling flags write pprof profiles covering the sweep — the fastest
 // way to see where a configuration spends its time (`go tool pprof`) — and
@@ -60,6 +71,17 @@ var (
 	ingestCPU  = flag.String("ingest-cpu", "", "per-interval CPU utilization CSV paired with -ingest-vms")
 	fineBudget = flag.Int64("finebudget", 0, "resident bytes budget per compiled workload table; over-budget tables stream in chunks (0 = 256 MiB default, negative disables the fine table)")
 	chunkSlots = flag.Int("chunkslots", 0, "pin the streaming-compile chunk width in slots (0 = derive from -finebudget)")
+
+	coordAddr  = flag.String("coordinator", "", "serve the sweep to geovmp-worker processes on this address (e.g. :8341) instead of computing cells locally")
+	ckptPath   = flag.String("checkpoint", "", "coordinator mode: persist completed cells to this file after every result (resume with -resume)")
+	resumePath = flag.String("resume", "", "preload completed cells from this checkpoint or ResultSet JSON; matching cells are not recomputed")
+)
+
+// coord is non-nil in -coordinator mode; resumeCk in -resume mode. Both are
+// set up in main before any experiment runs.
+var (
+	coord    *geovmp.Coordinator
+	resumeCk *geovmp.Checkpoint
 )
 
 // startProfiles begins CPU profiling and execution tracing (when requested)
@@ -157,10 +179,27 @@ func baseSpec(name string, extra ...geovmp.ScenarioOption) geovmp.Spec {
 	return geovmp.NewSpec(name, append(baseOpts(), extra...)...)
 }
 
-// sweep runs one experiment grid, bailing out on cancellation.
+// sweep runs one experiment grid, bailing out on cancellation. With
+// -resume, checkpointed cells are preloaded instead of recomputed; with
+// -coordinator, cells are leased to connected workers instead of running
+// here — both produce the byte-identical ResultSet a plain run would.
 func sweep(ctx context.Context, opts ...geovmp.ExperimentOption) (*geovmp.ResultSet, error) {
 	opts = append(opts, geovmp.WithParallelism(*par))
-	return geovmp.NewExperiment(opts...).Run(ctx)
+	if resumeCk != nil {
+		opts = append(opts, geovmp.WithResume(resumeCk))
+	}
+	exp := geovmp.NewExperiment(opts...)
+	if coord != nil {
+		return exp.RunDistributed(ctx, coord)
+	}
+	return exp.Run(ctx)
+}
+
+// refPolicy is NewRefPolicySpec for knobbed variants that must travel to
+// workers; the local constructor resolves from the same registry, so the
+// in-process path is unchanged.
+func refPolicy(name string, ref geovmp.PolicyRef) (geovmp.PolicySpec, error) {
+	return geovmp.NewRefPolicySpec(name, ref)
 }
 
 func main() {
@@ -174,6 +213,41 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	shutdown := func() {
+		stopProfiles()
+		if coord != nil {
+			coord.Close()
+		}
+	}
+	if *resumePath != "" {
+		resumeCk, err = geovmp.LoadCheckpoint(*resumePath)
+		if err != nil {
+			shutdown()
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resume: %d completed cell(s) preloaded from %s\n", resumeCk.Loaded, *resumePath)
+	}
+	if *ckptPath != "" && *coordAddr == "" {
+		shutdown()
+		fmt.Fprintln(os.Stderr, "-checkpoint needs -coordinator (single-process sweeps persist via -json at the end)")
+		os.Exit(2)
+	}
+	if *coordAddr != "" {
+		coord, err = geovmp.NewCoordinator(geovmp.CoordinatorConfig{
+			Addr:           *coordAddr,
+			CheckpointPath: *ckptPath,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			stopProfiles()
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("coordinator: serving cells at %s — connect workers with:\n  geovmp-worker -connect %s\n", coord.URL(), coord.URL())
 	}
 	start := time.Now()
 	switch *expName {
@@ -205,11 +279,11 @@ func main() {
 	case "failures":
 		err = runFailures(ctx)
 	default:
-		stopProfiles()
+		shutdown()
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
 		os.Exit(2)
 	}
-	stopProfiles()
+	shutdown()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -230,31 +304,44 @@ func runFigures(ctx context.Context, all bool) error {
 	if err != nil {
 		return err
 	}
-	// Figures are rendered from the base seed's results.
+	// Figures are rendered from the base seed's results. Cells preloaded
+	// from a checkpoint or computed by remote workers carry only the
+	// flattened row (no raw Result timeseries), so figure rendering is
+	// skipped for them — the aggregate table and JSON export still cover
+	// every cell.
 	results := make([]*geovmp.Result, 0, len(set.Policies))
+	live := true
 	for pi := range set.Policies {
-		results = append(results, set.At(0, pi, 0).Result)
+		r := set.At(0, pi, 0).Result
+		if r == nil {
+			live = false
+		}
+		results = append(results, r)
 	}
-	sc, err := geovmp.NewScenario(spec)
-	if err != nil {
-		return err
-	}
-	figs := geovmp.Figures(sc, results)
-	for _, f := range figs {
-		if all || *expName == "figs" || *expName == f.ID {
-			fmt.Println()
-			fmt.Print(f.Render())
-			if err := f.WriteCSV(*outDir); err != nil {
-				return err
+	if live {
+		sc, err := geovmp.NewScenario(spec)
+		if err != nil {
+			return err
+		}
+		figs := geovmp.Figures(sc, results)
+		for _, f := range figs {
+			if all || *expName == "figs" || *expName == f.ID {
+				fmt.Println()
+				fmt.Print(f.Render())
+				if err := f.WriteCSV(*outDir); err != nil {
+					return err
+				}
 			}
 		}
+		if err := report.SaveSVGs(*outDir, results); err != nil {
+			return err
+		}
+		fmt.Printf("\nSVG figures written to %s/\n\n", *outDir)
+		fmt.Print(geovmp.Summarize(results))
+	} else {
+		fmt.Println("\nfigures skipped: resumed/distributed cells carry flattened rows, not raw timeseries")
 	}
-	if err := report.SaveSVGs(*outDir, results); err != nil {
-		return err
-	}
-	fmt.Printf("\nSVG figures written to %s/\n\n", *outDir)
-	fmt.Print(geovmp.Summarize(results))
-	if *seeds > 1 {
+	if *seeds > 1 || !live {
 		agg := set.Aggregate(set.Scenarios[0])
 		fmt.Println()
 		fmt.Print(agg.Render())
@@ -278,8 +365,12 @@ func runAlphaSweep(ctx context.Context) error {
 	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	pols := make([]geovmp.PolicySpec, len(alphas))
 	for i, a := range alphas {
-		pols[i] = geovmp.NewPolicySpec(fmt.Sprintf("alpha=%.1f", a),
-			func(seed uint64) geovmp.Policy { return geovmp.Proposed(a, seed) })
+		ps, err := refPolicy(fmt.Sprintf("alpha=%.1f", a),
+			geovmp.PolicyRef{Kind: geovmp.PolicyKindProposed, Alpha: a})
+		if err != nil {
+			return err
+		}
+		pols[i] = ps
 	}
 	set, err := sweep(ctx, geovmp.WithScenarios(baseSpec("paper-geo3dc")), geovmp.WithPolicies(pols...))
 	if err != nil {
@@ -291,14 +382,14 @@ func runAlphaSweep(ctx context.Context) error {
 		Headers: []string{"alpha", "cost (EUR)", "energy (GJ)", "worst resp (s)", "mean resp (s)", "cross-DC (GB)"},
 	}
 	for i, a := range alphas {
-		r := set.At(0, i, 0).Result
+		row := set.At(0, i, 0).Export()
 		fig.Rows = append(fig.Rows, []string{
 			fmt.Sprintf("%.1f", a),
-			fmt.Sprintf("%.2f", float64(r.OpCost)),
-			fmt.Sprintf("%.4f", r.TotalEnergy.GJ()),
-			fmt.Sprintf("%.2f", r.RespSummary.Max()),
-			fmt.Sprintf("%.2f", r.RespSummary.Mean()),
-			fmt.Sprintf("%.1f", r.CrossBytes.GB()),
+			fmt.Sprintf("%.2f", row.CostEUR),
+			fmt.Sprintf("%.4f", row.EnergyGJ),
+			fmt.Sprintf("%.2f", row.WorstRespS),
+			fmt.Sprintf("%.2f", row.MeanRespS),
+			fmt.Sprintf("%.1f", row.CrossGB),
 		})
 	}
 	fmt.Print(fig.Render())
@@ -309,18 +400,19 @@ func runAlphaSweep(ctx context.Context) error {
 // swept as two policy variants of one grid.
 func runNoEmbed(ctx context.Context) error {
 	fmt.Println("ablation A2: embedding on/off")
+	withEmb, err := refPolicy("with embedding",
+		geovmp.PolicyRef{Kind: geovmp.PolicyKindProposed, Alpha: *alpha})
+	if err != nil {
+		return err
+	}
+	noEmb, err := refPolicy("no embedding",
+		geovmp.PolicyRef{Kind: geovmp.PolicyKindProposed, Alpha: *alpha, NoEmbedding: true})
+	if err != nil {
+		return err
+	}
 	set, err := sweep(ctx,
 		geovmp.WithScenarios(baseSpec("paper-geo3dc")),
-		geovmp.WithPolicies(
-			geovmp.NewPolicySpec("with embedding",
-				func(seed uint64) geovmp.Policy { return geovmp.Proposed(*alpha, seed) }),
-			geovmp.NewPolicySpec("no embedding",
-				func(seed uint64) geovmp.Policy {
-					ctl := geovmp.Proposed(*alpha, seed)
-					ctl.NoEmbedding = true
-					return ctl
-				}),
-		),
+		geovmp.WithPolicies(withEmb, noEmb),
 	)
 	if err != nil {
 		return err
@@ -331,14 +423,14 @@ func runNoEmbed(ctx context.Context) error {
 		Headers: []string{"variant", "cost (EUR)", "energy (GJ)", "worst resp (s)", "mean resp (s)", "cross-DC (GB)"},
 	}
 	for pi, name := range set.Policies {
-		r := set.At(0, pi, 0).Result
+		row := set.At(0, pi, 0).Export()
 		fig.Rows = append(fig.Rows, []string{
 			name,
-			fmt.Sprintf("%.2f", float64(r.OpCost)),
-			fmt.Sprintf("%.4f", r.TotalEnergy.GJ()),
-			fmt.Sprintf("%.2f", r.RespSummary.Max()),
-			fmt.Sprintf("%.2f", r.RespSummary.Mean()),
-			fmt.Sprintf("%.1f", r.CrossBytes.GB()),
+			fmt.Sprintf("%.2f", row.CostEUR),
+			fmt.Sprintf("%.4f", row.EnergyGJ),
+			fmt.Sprintf("%.2f", row.WorstRespS),
+			fmt.Sprintf("%.2f", row.MeanRespS),
+			fmt.Sprintf("%.1f", row.CrossGB),
 		})
 	}
 	fmt.Print(fig.Render())
@@ -367,13 +459,13 @@ func runQoSSweep(ctx context.Context) error {
 		Headers: []string{"QoS", "cost (EUR)", "worst resp (s)", "migrations", "rejected"},
 	}
 	for si, q := range qos {
-		r := set.At(si, 0, 0).Result
+		row := set.At(si, 0, 0).Export()
 		fig.Rows = append(fig.Rows, []string{
 			fmt.Sprintf("%.3f", q),
-			fmt.Sprintf("%.2f", float64(r.OpCost)),
-			fmt.Sprintf("%.2f", r.RespSummary.Max()),
-			fmt.Sprintf("%d", r.Migrations),
-			fmt.Sprintf("%d", r.MigRejected),
+			fmt.Sprintf("%.2f", row.CostEUR),
+			fmt.Sprintf("%.2f", row.WorstRespS),
+			fmt.Sprintf("%d", row.Migrations),
+			fmt.Sprintf("%d", row.MigRejected),
 		})
 	}
 	fmt.Print(fig.Render())
@@ -403,13 +495,13 @@ func runBatterySweep(ctx context.Context) error {
 		Headers: []string{"battery scale", "cost (EUR)", "grid (kWh)", "PV used (kWh)", "PV lost (kWh)"},
 	}
 	for si := range sizes {
-		r := set.At(si, 0, 0).Result
+		row := set.At(si, 0, 0).Export()
 		fig.Rows = append(fig.Rows, []string{
 			labels[si],
-			fmt.Sprintf("%.2f", float64(r.OpCost)),
-			fmt.Sprintf("%.1f", r.GridEnergy.KWh()),
-			fmt.Sprintf("%.1f", r.RenewableUsed.KWh()),
-			fmt.Sprintf("%.1f", r.RenewableLost.KWh()),
+			fmt.Sprintf("%.2f", row.CostEUR),
+			fmt.Sprintf("%.1f", row.GridKWh),
+			fmt.Sprintf("%.1f", row.RenewableUsedKWh),
+			fmt.Sprintf("%.1f", row.RenewableLostKWh),
 		})
 	}
 	fmt.Print(fig.Render())
@@ -457,16 +549,16 @@ func runEpochSweep(ctx context.Context) error {
 		Headers: []string{"epochs", "cost (EUR)", "energy (GJ)", "worst resp (s)", "migrations", "rejected", "mig energy (kWh)", "downtime (s)"},
 	}
 	for si := range counts {
-		r := set.At(si, 0, 0).Result
+		row := set.At(si, 0, 0).Export()
 		fig.Rows = append(fig.Rows, []string{
 			fmt.Sprintf("%d", counts[si]),
-			fmt.Sprintf("%.2f", float64(r.OpCost)),
-			fmt.Sprintf("%.4f", r.TotalEnergy.GJ()),
-			fmt.Sprintf("%.2f", r.RespSummary.Max()),
-			fmt.Sprintf("%d", r.Migrations),
-			fmt.Sprintf("%d", r.MigRejected),
-			fmt.Sprintf("%.3f", r.MigEnergy.KWh()),
-			fmt.Sprintf("%.1f", r.MigDowntimeSec),
+			fmt.Sprintf("%.2f", row.CostEUR),
+			fmt.Sprintf("%.4f", row.EnergyGJ),
+			fmt.Sprintf("%.2f", row.WorstRespS),
+			fmt.Sprintf("%d", row.Migrations),
+			fmt.Sprintf("%d", row.MigRejected),
+			fmt.Sprintf("%.3f", row.MigEnergyKWh),
+			fmt.Sprintf("%.1f", row.MigDowntimeS),
 		})
 	}
 	fmt.Print(fig.Render())
@@ -482,21 +574,34 @@ func runEpochSweep(ctx context.Context) error {
 // JSON land under -out.
 func runFrontier(ctx context.Context) error {
 	fmt.Println("frontier: adaptive alpha sweep vs baselines (cost vs mean response)")
-	fs, err := geovmp.NewFrontier(
+	baselines := make([]geovmp.PolicySpec, 0, 3)
+	for _, b := range []struct {
+		name string
+		ref  geovmp.PolicyRef
+	}{
+		{"Pareto-search", geovmp.PolicyRef{Kind: geovmp.PolicyKindParetoSearch}},
+		{"Net-aware", geovmp.PolicyRef{Kind: geovmp.PolicyKindNetAware}},
+		{"Ener-aware", geovmp.PolicyRef{Kind: geovmp.PolicyKindEnerAware}},
+	} {
+		ps, err := refPolicy(b.name, b.ref)
+		if err != nil {
+			return err
+		}
+		baselines = append(baselines, ps)
+	}
+	opts := []geovmp.FrontierOption{
 		geovmp.FrontierScenarios(baseSpec("paper-geo3dc")),
 		geovmp.FrontierObjectives(geovmp.CostObjective(), geovmp.MeanRespObjective()),
 		geovmp.FrontierPointBudget(13),
 		geovmp.FrontierCoarseGrid(5),
 		geovmp.FrontierSeeds(*seeds),
 		geovmp.FrontierParallelism(*par),
-		geovmp.FrontierBaselines(
-			geovmp.NewPolicySpec("Pareto-search", func(seed uint64) geovmp.Policy {
-				return geovmp.ParetoSearch(seed)
-			}),
-			geovmp.NewPolicySpec("Net-aware", func(uint64) geovmp.Policy { return geovmp.NetAware() }),
-			geovmp.NewPolicySpec("Ener-aware", func(uint64) geovmp.Policy { return geovmp.EnerAware() }),
-		),
-	).Run(ctx)
+		geovmp.FrontierBaselines(baselines...),
+	}
+	if coord != nil {
+		opts = append(opts, geovmp.FrontierRunner(coord))
+	}
+	fs, err := geovmp.NewFrontier(opts...).Run(ctx)
 	if err != nil {
 		return err
 	}
@@ -562,15 +667,15 @@ func runFailures(ctx context.Context) error {
 		Headers: []string{"storage", "data-loss prob", "repair (GB)", "evacuations", "stranded slots", "cost (EUR)", "worst resp (s)"},
 	}
 	for si, s := range schemes {
-		r := set.At(si, 0, 0).Result
+		row := set.At(si, 0, 0).Export()
 		fig.Rows = append(fig.Rows, []string{
 			s.name,
-			fmt.Sprintf("%.4f", r.DataLossProb),
-			fmt.Sprintf("%.1f", r.RepairBytes.GB()),
-			fmt.Sprintf("%d", r.Evacuations),
-			fmt.Sprintf("%d", r.StrandedVMSlots),
-			fmt.Sprintf("%.2f", float64(r.OpCost)),
-			fmt.Sprintf("%.2f", r.RespSummary.Max()),
+			fmt.Sprintf("%.4f", row.DataLossProb),
+			fmt.Sprintf("%.1f", row.RepairGB),
+			fmt.Sprintf("%d", row.Evacuations),
+			fmt.Sprintf("%d", row.StrandedVMSlots),
+			fmt.Sprintf("%.2f", row.CostEUR),
+			fmt.Sprintf("%.2f", row.WorstRespS),
 		})
 	}
 	fmt.Print(fig.Render())
@@ -607,12 +712,12 @@ func runForecast(ctx context.Context) error {
 		Headers: []string{"forecaster", "cost (EUR)", "grid (kWh)", "PV used (kWh)"},
 	}
 	for si, k := range kinds {
-		r := set.At(si, 0, 0).Result
+		row := set.At(si, 0, 0).Export()
 		fig.Rows = append(fig.Rows, []string{
 			k.name,
-			fmt.Sprintf("%.2f", float64(r.OpCost)),
-			fmt.Sprintf("%.1f", r.GridEnergy.KWh()),
-			fmt.Sprintf("%.1f", r.RenewableUsed.KWh()),
+			fmt.Sprintf("%.2f", row.CostEUR),
+			fmt.Sprintf("%.1f", row.GridKWh),
+			fmt.Sprintf("%.1f", row.RenewableUsedKWh),
 		})
 	}
 	fmt.Print(fig.Render())

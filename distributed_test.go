@@ -1,0 +1,180 @@
+package geovmp
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// distWorkers connects n in-process workers to the coordinator and returns
+// a wait function that blocks until they have all drained.
+func distWorkers(ctx context.Context, t *testing.T, coord *Coordinator, n int) func() {
+	t.Helper()
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		go func() {
+			done <- RunDistWorker(ctx, DistWorkerConfig{
+				Coordinator: coord.URL(),
+				Name:        name,
+				Parallelism: 1,
+				Poll:        10 * time.Millisecond,
+			})
+		}()
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("dist worker: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Errorf("dist worker %d did not drain", i)
+				return
+			}
+		}
+	}
+}
+
+// TestRunDistributedMatchesRun: the public API round trip — the same
+// Experiment, run in-process and through a coordinator with two workers,
+// exports byte-identical JSON.
+func TestRunDistributedMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed sweep is not -short sized")
+	}
+	exp := func() *Experiment {
+		spec := MustPreset("paper-geo3dc")
+		spec.Scale = 0.01
+		spec.Seed = 7
+		spec.Horizon = HoursOf(4)
+		spec.FineStepSec = 300
+		return NewExperiment(
+			WithScenarios(spec),
+			WithPolicies(StandardPolicies(0.9)...),
+			WithSeeds(2),
+		)
+	}
+	ctx := context.Background()
+	set, err := exp().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+	wait := distWorkers(wctx, t, coord, 2)
+
+	dset, err := exp().RunDistributed(wctx, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dset.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("RunDistributed JSON differs from Run JSON")
+	}
+
+	coord.Finish()
+	wait()
+}
+
+// TestFrontierRunnerMatchesInProcess: the adaptive frontier scheduled
+// through a dist coordinator resolves byte-identically to the in-process
+// driver — waves, refinement decisions and all.
+func TestFrontierRunnerMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed frontier is not -short sized")
+	}
+	spec := MustPreset("paper-geo3dc")
+	spec.Scale = 0.01
+	spec.Seed = 7
+	spec.Horizon = HoursOf(4)
+	spec.FineStepSec = 300
+
+	baseline, err := NewRefPolicySpec("Pareto-search", PolicyRef{Kind: "paretosearch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkOpts := func(extra ...FrontierOption) []FrontierOption {
+		return append([]FrontierOption{
+			FrontierScenarios(spec),
+			FrontierObjectives(CostObjective(), MeanRespObjective()),
+			FrontierPointBudget(6),
+			FrontierCoarseGrid(3),
+			FrontierWaveSize(2),
+			FrontierBaselines(baseline),
+		}, extra...)
+	}
+
+	ctx := context.Background()
+	fs, err := NewFrontier(mkOpts()...).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+	wait := distWorkers(wctx, t, coord, 2)
+
+	dfs, err := NewFrontier(mkOpts(FrontierRunner(coord))...).Run(wctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed frontier JSON differs from in-process frontier JSON:\n--- dist\n%.1500s\n--- local\n%.1500s", got, want)
+	}
+
+	coord.Finish()
+	wait()
+}
+
+// TestFrontierRunnerRejectsUnportableSetups: objectives without row
+// extractors and knobs without wire forms fail up front, not mid-sweep.
+func TestFrontierRunnerRejectsUnportableSetups(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	if _, err := NewFrontier(
+		FrontierObjectives(CostObjective(), P95RespObjective()),
+		FrontierRunner(coord),
+	).Run(context.Background()); err == nil {
+		t.Fatal("distributed frontier accepted an objective without OfRow")
+	}
+
+	if _, err := NewFrontier(
+		FrontierKnob("custom", 0, 1, func(t float64, seed uint64) Policy { return Proposed(t, seed) }),
+		FrontierRunner(coord),
+	).Run(context.Background()); err == nil {
+		t.Fatal("distributed frontier accepted a knob without a wire form")
+	}
+}

@@ -135,13 +135,33 @@ func WithProgress(fn func(Progress)) ExperimentOption {
 	return func(e *Experiment) { e.grid.Progress = fn }
 }
 
+// WithResume preloads cells completed by an earlier sweep of the same grid
+// (see LoadCheckpoint): matching cells carry the checkpointed row instead
+// of being recomputed, and because the engine is deterministic the final
+// export is byte-identical to a from-scratch run. Works for both the
+// in-process path and RunDistributed.
+func WithResume(ck *Checkpoint) ExperimentOption {
+	return func(e *Experiment) { e.grid.Resume = ck }
+}
+
 // Run executes the grid. Cancelling ctx abandons unfinished cells promptly
 // (runs check the context every simulated hour) and returns the
 // partially-filled ResultSet together with an error wrapping the
 // cancellation cause; completed cells keep their results.
 func (e *Experiment) Run(ctx context.Context) (*ResultSet, error) {
+	g, err := e.buildGrid()
+	if err != nil {
+		return nil, err
+	}
+	return experiment.Run(ctx, g)
+}
+
+// buildGrid materializes the experiment's grid with the documented
+// defaults applied — shared by Run and RunDistributed so both paths sweep
+// exactly the same grid.
+func (e *Experiment) buildGrid() (experiment.Grid, error) {
 	if len(e.errs) > 0 {
-		return nil, errors.Join(e.errs...)
+		return experiment.Grid{}, errors.Join(e.errs...)
 	}
 	g := e.grid
 	if len(g.Scenarios) == 0 {
@@ -150,23 +170,43 @@ func (e *Experiment) Run(ctx context.Context) (*ResultSet, error) {
 	if len(g.Policies) == 0 {
 		g.Policies = StandardPolicies(0.9)
 	}
-	return experiment.Run(ctx, g)
+	return g, nil
 }
 
-// NewPolicySpec wraps a named policy constructor for the policy axis.
+// NewPolicySpec wraps a named policy constructor for the policy axis. Specs
+// built this way run in-process only: a bare closure has no wire form, so a
+// distributed sweep rejects them — use NewRefPolicySpec (or the Ref-carrying
+// StandardPolicies) for grids that must travel.
 func NewPolicySpec(name string, mk func(seed uint64) Policy) PolicySpec {
 	return PolicySpec{Name: name, New: mk}
 }
 
 // StandardPolicies returns the paper's four methods as per-cell factories
 // in evaluation order: Proposed (at the given alpha, seeded per cell),
-// Ener-aware, Pri-aware, Net-aware.
+// Ener-aware, Pri-aware, Net-aware. Every spec carries its wire form, so
+// the standard grid distributes as-is.
 func StandardPolicies(alpha float64) []PolicySpec {
 	return []PolicySpec{
-		NewPolicySpec("Proposed", func(seed uint64) Policy { return Proposed(alpha, seed) }),
-		NewPolicySpec("Ener-aware", func(uint64) Policy { return EnerAware() }),
-		NewPolicySpec("Pri-aware", func(uint64) Policy { return PriAware() }),
-		NewPolicySpec("Net-aware", func(uint64) Policy { return NetAware() }),
+		{
+			Name: "Proposed",
+			New:  func(seed uint64) Policy { return Proposed(alpha, seed) },
+			Ref:  &PolicyRef{Kind: "proposed", Alpha: alpha},
+		},
+		{
+			Name: "Ener-aware",
+			New:  func(uint64) Policy { return EnerAware() },
+			Ref:  &PolicyRef{Kind: "ener"},
+		},
+		{
+			Name: "Pri-aware",
+			New:  func(uint64) Policy { return PriAware() },
+			Ref:  &PolicyRef{Kind: "pri"},
+		},
+		{
+			Name: "Net-aware",
+			New:  func(uint64) Policy { return NetAware() },
+			Ref:  &PolicyRef{Kind: "net"},
+		},
 	}
 }
 

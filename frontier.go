@@ -21,30 +21,57 @@ import (
 // FrontierSet JSON and reports) and an extractor mapping a run's Result to
 // a scalar. All objectives are minimized; negate inside Of for quantities
 // you want maximized.
+//
+// OfRow, when non-nil, extracts the same scalar from a flattened cell row
+// (CellRow) — the form results arrive in from distributed sweeps and resume
+// checkpoints. Every standard objective except P95RespObjective carries it
+// (the p95 needs the raw response samples, which do not travel); a frontier
+// scheduled through FrontierRunner requires it on every objective.
 type Objective struct {
-	Name string
-	Of   func(*Result) float64
+	Name  string
+	Of    func(*Result) float64
+	OfRow func(*CellRow) float64
 }
+
+// CellRow is a cell's flattened export row — the stable JSON schema rows
+// distributed workers stream back and checkpoints store.
+type CellRow = experiment.CellData
 
 // CostObjective measures operational cost in EUR (Fig. 1).
 func CostObjective() Objective {
-	return Objective{Name: "cost_eur", Of: func(r *Result) float64 { return float64(r.OpCost) }}
+	return Objective{
+		Name:  "cost_eur",
+		Of:    func(r *Result) float64 { return float64(r.OpCost) },
+		OfRow: func(c *CellRow) float64 { return c.CostEUR },
+	}
 }
 
 // EnergyObjective measures total facility energy in GJ (Fig. 2).
 func EnergyObjective() Objective {
-	return Objective{Name: "energy_gj", Of: func(r *Result) float64 { return r.TotalEnergy.GJ() }}
+	return Objective{
+		Name:  "energy_gj",
+		Of:    func(r *Result) float64 { return r.TotalEnergy.GJ() },
+		OfRow: func(c *CellRow) float64 { return c.EnergyGJ },
+	}
 }
 
 // MeanRespObjective measures the mean response time in seconds (Fig. 3).
 func MeanRespObjective() Objective {
-	return Objective{Name: "mean_resp_s", Of: func(r *Result) float64 { return r.RespSummary.Mean() }}
+	return Objective{
+		Name:  "mean_resp_s",
+		Of:    func(r *Result) float64 { return r.RespSummary.Mean() },
+		OfRow: func(c *CellRow) float64 { return c.MeanRespS },
+	}
 }
 
 // WorstRespObjective measures the worst-case response time in seconds —
 // the paper's SLA metric.
 func WorstRespObjective() Objective {
-	return Objective{Name: "worst_resp_s", Of: func(r *Result) float64 { return r.RespSummary.Max() }}
+	return Objective{
+		Name:  "worst_resp_s",
+		Of:    func(r *Result) float64 { return r.RespSummary.Max() },
+		OfRow: func(c *CellRow) float64 { return c.WorstRespS },
+	}
 }
 
 // P95RespObjective measures the 95th-percentile response time in seconds
@@ -59,21 +86,33 @@ func P95RespObjective() Objective {
 // MigDowntimeObjective measures the charged migration downtime in seconds
 // (zero on the static path; see WithMigrationBudget).
 func MigDowntimeObjective() Objective {
-	return Objective{Name: "mig_downtime_s", Of: func(r *Result) float64 { return r.MigDowntimeSec }}
+	return Objective{
+		Name:  "mig_downtime_s",
+		Of:    func(r *Result) float64 { return r.MigDowntimeSec },
+		OfRow: func(c *CellRow) float64 { return c.MigDowntimeS },
+	}
 }
 
 // DataLossObjective measures the storage model's mean per-slot data-loss
 // probability under the run's fault schedule (zero on fault-free runs;
 // see WithFaults / WithStorage).
 func DataLossObjective() Objective {
-	return Objective{Name: "data_loss_prob", Of: func(r *Result) float64 { return r.DataLossProb }}
+	return Objective{
+		Name:  "data_loss_prob",
+		Of:    func(r *Result) float64 { return r.DataLossProb },
+		OfRow: func(c *CellRow) float64 { return c.DataLossProb },
+	}
 }
 
 // RepairBandwidthObjective measures the shard-rebuild traffic pushed
 // through the backbone in GB — the durability tax erasure codes pay on
 // every incident.
 func RepairBandwidthObjective() Objective {
-	return Objective{Name: "repair_gb", Of: func(r *Result) float64 { return r.RepairBytes.GB() }}
+	return Objective{
+		Name:  "repair_gb",
+		Of:    func(r *Result) float64 { return r.RepairBytes.GB() },
+		OfRow: func(c *CellRow) float64 { return c.RepairGB },
+	}
 }
 
 // respQuantile is the nearest-rank q-quantile of the response samples.
@@ -140,7 +179,9 @@ type Frontier struct {
 	knobLo      float64
 	knobHi      float64
 	knobMk      func(t float64, seed uint64) Policy
+	knobRef     func(t float64) PolicyRef
 	baselines   []PolicySpec
+	runner      *Coordinator
 	errs        []error
 }
 
@@ -160,6 +201,7 @@ func NewFrontier(opts ...FrontierOption) *Frontier {
 		knobLo:   0,
 		knobHi:   1,
 		knobMk:   func(t float64, seed uint64) Policy { return Proposed(t, seed) },
+		knobRef:  func(t float64) PolicyRef { return PolicyRef{Kind: "proposed", Alpha: t} },
 	}
 	for _, o := range opts {
 		o(f)
@@ -268,7 +310,28 @@ func FrontierKnob(name string, lo, hi float64, mk func(t float64, seed uint64) P
 			return
 		}
 		f.knobName, f.knobLo, f.knobHi, f.knobMk = name, lo, hi, mk
+		// A bare closure has no wire form; FrontierKnobRef can restore one.
+		f.knobRef = nil
 	}
+}
+
+// FrontierKnobRef gives the current knob a wire form for distributed runs:
+// ref maps a knob value to the PolicyRef a worker resolves into the same
+// policy knobMk would construct. The default alpha knob already has one.
+func FrontierKnobRef(ref func(t float64) PolicyRef) FrontierOption {
+	return func(f *Frontier) { f.knobRef = ref }
+}
+
+// FrontierRunner schedules every evaluation wave through a dist
+// coordinator instead of the in-process engine: wave cells are leased to
+// connected workers, which compile each scenario x seed column once on
+// their side (the distributed analogue of the frontier's local column
+// sharing). Requirements: every objective must carry OfRow (results arrive
+// as flattened rows), the knob must have a wire form (FrontierKnobRef or
+// the default alpha knob), and baselines must carry Refs. The resolved
+// frontier is byte-identical to the in-process run's.
+func FrontierRunner(c *Coordinator) FrontierOption {
+	return func(f *Frontier) { f.runner = c }
 }
 
 // FrontierBaselines adds fixed policies evaluated alongside the knob sweep
@@ -324,8 +387,14 @@ func (f *Frontier) Run(ctx context.Context) (*FrontierSet, error) {
 		if seen[o.Name] {
 			return nil, fmt.Errorf("geovmp: duplicate objective %q", o.Name)
 		}
+		if f.runner != nil && o.OfRow == nil {
+			return nil, fmt.Errorf("geovmp: objective %q has no row extractor (OfRow) — it cannot ride a distributed frontier", o.Name)
+		}
 		seen[o.Name] = true
 		names[i] = o.Name
+	}
+	if f.runner != nil && f.knobRef == nil {
+		return nil, fmt.Errorf("geovmp: frontier knob %q has no wire form — set FrontierKnobRef to run distributed", f.knobName)
 	}
 
 	fs := &FrontierSet{Objectives: names, Seeds: f.seeds}
@@ -356,60 +425,73 @@ func (f *Frontier) runScenario(ctx context.Context, spec Spec, objectives []Obje
 	// compile itself is sharded over the same worker budget the waves get.
 	// An injected workload (and the environment, always) is seed-
 	// independent, so all seed columns collapse onto one compile — the
-	// same collapse the engine's lazy path applies.
-	workers := f.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	columns := make(map[uint64]*experiment.Column, f.seeds)
-	compileBudget := par.NewBudget(workers - 1)
-	for _, off := range offsets {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	// same collapse the engine's lazy path applies. A distributed frontier
+	// compiles nothing here: each worker compiles and caches its own
+	// columns, reused across every wave's cells of the scenario x seed.
+	var colFor func(scenario string, seed uint64) *experiment.Column
+	if f.runner == nil {
+		workers := f.parallelism
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		if spec.Workload != nil && off > 0 {
-			columns[spec.Seed+off] = columns[spec.Seed]
-			continue
+		columns := make(map[uint64]*experiment.Column, f.seeds)
+		compileBudget := par.NewBudget(workers - 1)
+		for _, off := range offsets {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if spec.Workload != nil && off > 0 {
+				columns[spec.Seed+off] = columns[spec.Seed]
+				continue
+			}
+			col, err := experiment.CompileColumn(spec, spec.Seed+off, compileBudget)
+			if err != nil {
+				return nil, err
+			}
+			columns[spec.Seed+off] = col
 		}
-		col, err := experiment.CompileColumn(spec, spec.Seed+off, compileBudget)
-		if err != nil {
-			return nil, err
+		colFor = func(scenario string, seed uint64) *experiment.Column {
+			if scenario != scenarioName {
+				return nil
+			}
+			return columns[seed]
 		}
-		columns[spec.Seed+off] = col
-	}
-	colFor := func(scenario string, seed uint64) *experiment.Column {
-		if scenario != scenarioName {
-			return nil
-		}
-		return columns[seed]
 	}
 
 	var points []FrontierPoint
 	decimals := pareto.KnobDecimals(f.knobLo, f.knobHi)
 	firstWave := true
 	evalGrid := func(pols []PolicySpec) (*ResultSet, error) {
-		set, err := experiment.Run(ctx, experiment.Grid{
+		g := experiment.Grid{
 			Scenarios:   []Spec{spec},
 			Policies:    pols,
 			SeedOffsets: offsets,
 			Parallelism: f.parallelism,
 			Columns:     colFor,
-		})
-		if err != nil {
-			return nil, err
 		}
-		return set, nil
+		if f.runner != nil {
+			return f.runner.RunGrid(ctx, g)
+		}
+		return experiment.Run(ctx, g)
 	}
 	vectorsOf := func(set *ResultSet, pi int) ([]float64, error) {
 		v := make([]float64, len(objectives))
 		for ki := range set.SeedOffsets {
 			cell := set.At(0, pi, ki)
-			if cell.Result == nil {
+			switch {
+			case cell.Result != nil:
+				for oi, o := range objectives {
+					v[oi] += o.Of(cell.Result)
+				}
+			case cell.Data != nil:
+				// Distributed waves return flattened rows; the standard
+				// objectives read the same fields either way.
+				for oi, o := range objectives {
+					v[oi] += o.OfRow(cell.Data)
+				}
+			default:
 				return nil, fmt.Errorf("geovmp: frontier cell %s/%s/seed+%d failed: %w",
 					cell.Scenario, cell.Policy, ki, cell.Err)
-			}
-			for oi, o := range objectives {
-				v[oi] += o.Of(cell.Result)
 			}
 		}
 		for oi := range v {
@@ -422,10 +504,15 @@ func (f *Frontier) runScenario(ctx context.Context, spec Spec, objectives []Obje
 		pols := make([]PolicySpec, 0, len(knobs)+len(f.baselines))
 		for _, t := range knobs {
 			t := t
-			pols = append(pols, PolicySpec{
+			ps := PolicySpec{
 				Name: knobLabel(f.knobName, decimals, t),
 				New:  func(seed uint64) Policy { return f.knobMk(t, seed) },
-			})
+			}
+			if f.knobRef != nil {
+				ref := f.knobRef(t)
+				ps.Ref = &ref
+			}
+			pols = append(pols, ps)
 		}
 		nKnobs := len(pols)
 		if firstWave {

@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"fmt"
+
+	"geovmp/internal/core"
+	"geovmp/internal/experiment"
+	"geovmp/internal/policy"
+)
+
+// Policy ref kinds understood by ResolvePolicy. The registry is the wire
+// contract: a coordinator only schedules policies whose PolicySpec carries a
+// Ref, and every worker resolves the same kind to the same constructor, so
+// the distributed sweep evaluates exactly the policy the in-process sweep
+// would.
+const (
+	KindProposed     = "proposed"     // core.New(Alpha, seed), NoEmbedding knob
+	KindEnerAware    = "ener"         // policy.EnerAware
+	KindPriAware     = "pri"          // policy.PriAware
+	KindNetAware     = "net"          // policy.NetAware
+	KindParetoSearch = "paretosearch" // policy.NewParetoSearch(seed)
+)
+
+// ResolvePolicy turns a wire-form PolicyRef back into a per-cell
+// constructor equivalent to the one the grid's author registered. Unknown
+// kinds are an error — on the worker side that error is reported permanent,
+// since no amount of retrying teaches a worker a kind its build lacks.
+func ResolvePolicy(ref experiment.PolicyRef) (func(seed uint64) policy.Policy, error) {
+	switch ref.Kind {
+	case KindProposed:
+		alpha, noEmbed := ref.Alpha, ref.NoEmbedding
+		return func(seed uint64) policy.Policy {
+			c := core.New(alpha, seed)
+			c.NoEmbedding = noEmbed
+			return c
+		}, nil
+	case KindEnerAware:
+		return func(uint64) policy.Policy { return policy.EnerAware{} }, nil
+	case KindPriAware:
+		return func(uint64) policy.Policy { return policy.PriAware{} }, nil
+	case KindNetAware:
+		return func(uint64) policy.Policy { return policy.NetAware{} }, nil
+	case KindParetoSearch:
+		return func(seed uint64) policy.Policy { return policy.NewParetoSearch(seed) }, nil
+	}
+	return nil, fmt.Errorf("dist: unknown policy kind %q", ref.Kind)
+}
+
+// PolicySpecFromRef builds a complete PolicySpec — local constructor plus
+// wire form — from a ref, under the given display name. Grid authors that
+// want distribution-ready specs for knobbed variants (an alpha sweep, the
+// no-embedding ablation) build them here so the in-process and distributed
+// paths construct provably the same policy.
+func PolicySpecFromRef(name string, ref experiment.PolicyRef) (experiment.PolicySpec, error) {
+	mk, err := ResolvePolicy(ref)
+	if err != nil {
+		return experiment.PolicySpec{}, err
+	}
+	r := ref
+	return experiment.PolicySpec{Name: name, New: mk, Ref: &r}, nil
+}

@@ -1,0 +1,122 @@
+// Package dist shards an experiment grid across machines: a Coordinator
+// decomposes the grid into cell work items, hands them out over an HTTP/JSON
+// lease protocol, and merges the returned rows into the canonical-ordered
+// Set — byte-identical to running the same grid in one process, because the
+// engine is deterministic and the flattened CellData row is the engine's own
+// export encoding.
+//
+// The protocol is deliberately dumb: workers pull, the coordinator never
+// pushes. A work item is leased for a bounded time and kept alive by
+// heartbeats; a worker that dies mid-cell simply lets its lease expire, and
+// the coordinator re-queues the cell with capped exponential backoff.
+// Determinism makes every failure mode safe to retry: a cell computed twice
+// (late result after an expiry re-lease) produces identical bytes, so the
+// coordinator accepts whichever copy lands first and counts the other as a
+// duplicate.
+//
+//	POST /v1/lease      {worker} -> {item} | {wait_ms} | {done}
+//	POST /v1/heartbeat  {lease} -> 200 | 410 gone
+//	POST /v1/result     {lease, cell, fingerprint, row|error} -> 200
+//	GET  /v1/status     sweep progress counters
+//	GET  /metrics       metrics.Board text exposition
+//	GET  /healthz       liveness
+//
+// Work items carry the full scenario spec plus a PolicyRef (the policy's
+// registered wire form — closures cannot travel), and are keyed by the
+// spec x seed fingerprint (experiment.SpecFingerprint). Both sides compute
+// the fingerprint independently, so schema skew between coordinator and
+// worker builds surfaces as a rejected item instead of silently
+// wrong-universe results.
+package dist
+
+import (
+	"geovmp/internal/config"
+	"geovmp/internal/experiment"
+)
+
+// WorkItem is one leased grid cell: everything a worker needs to compile
+// the scenario column and evaluate the policy locally.
+type WorkItem struct {
+	// Cell is the grid index of the cell in the coordinator's Set; results
+	// are addressed by it, so late results survive lease churn.
+	Cell int `json:"cell"`
+	// Scenario is the resolved scenario display name (spec.Name or the
+	// engine default) — the name the exported row must carry.
+	Scenario string `json:"scenario"`
+	// PolicyName is the grid's display name for the policy (may differ
+	// from the Ref kind: ablation grids name variants).
+	PolicyName string `json:"policy_name"`
+	// Seed is the cell's absolute seed (scenario base + offset).
+	Seed uint64 `json:"seed"`
+	// Fingerprint is experiment.SpecFingerprint(Spec, Seed) as computed by
+	// the coordinator. The worker recomputes it from the decoded spec and
+	// rejects the item on mismatch.
+	Fingerprint string `json:"fingerprint"`
+	// Spec is the full scenario spec (its Workload interface field is nil
+	// by construction — injected workloads cannot be distributed).
+	Spec config.Spec `json:"spec"`
+	// Policy is the policy's wire form, resolved through ResolvePolicy.
+	Policy experiment.PolicyRef `json:"policy"`
+	// Lease is the opaque lease token heartbeats and the result carry.
+	Lease string `json:"lease"`
+	// LeaseMS is the lease TTL; the worker heartbeats at a fraction of it.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker,omitempty"`
+}
+
+type leaseResponse struct {
+	// Item is the leased cell, nil when no work is available right now.
+	Item *WorkItem `json:"item,omitempty"`
+	// WaitMS hints how long an idle worker should sleep before re-polling.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+	// Done tells the worker the coordinator is finished for good: no
+	// further grids will be served, exit cleanly.
+	Done bool `json:"done,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Lease string `json:"lease"`
+}
+
+type resultRequest struct {
+	Lease  string `json:"lease"`
+	Cell   int    `json:"cell"`
+	Worker string `json:"worker,omitempty"`
+	// Fingerprint echoes the item's spec fingerprint; the coordinator
+	// drops rows whose fingerprint does not match the cell it addresses.
+	Fingerprint string `json:"fingerprint"`
+	// Row is the flattened cell outcome (exactly what the in-process
+	// engine's Export would emit for the same cell).
+	Row *experiment.CellData `json:"row,omitempty"`
+	// Error reports a failed evaluation instead of a row.
+	Error string `json:"error,omitempty"`
+	// Permanent marks the error as non-retryable (fingerprint mismatch,
+	// unknown policy kind): the coordinator fails the cell immediately
+	// instead of re-queueing it.
+	Permanent bool `json:"permanent,omitempty"`
+}
+
+type okResponse struct {
+	OK bool `json:"ok"`
+}
+
+// StatusResponse is the coordinator's sweep progress snapshot (GET
+// /v1/status).
+type StatusResponse struct {
+	// Active reports whether a grid is currently being served.
+	Active bool `json:"active"`
+	// Closed reports whether the coordinator has shut down for good.
+	Closed bool `json:"closed"`
+	Total  int  `json:"total"`  // cells in the active grid
+	Done   int  `json:"done"`   // cells with an accepted outcome
+	Leased int  `json:"leased"` // cells currently out on lease
+	Queued int  `json:"queued"` // cells waiting (including backoff holds)
+	Failed int  `json:"failed"` // cells failed permanently
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}

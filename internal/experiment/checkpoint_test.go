@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"geovmp/internal/config"
+	"geovmp/internal/policy"
+	"geovmp/internal/timeutil"
+	"geovmp/internal/trace"
+)
+
+func ckTestGrid(t *testing.T) Grid {
+	t.Helper()
+	spec, err := config.Preset("paper-geo3dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = 0.01
+	spec.Seed = 7
+	spec.Horizon = timeutil.Hours(4)
+	spec.FineStepSec = 300
+	return Grid{
+		Scenarios: []config.Spec{spec},
+		Policies: []PolicySpec{
+			{Name: "Ener-aware", New: func(uint64) policy.Policy { return policy.EnerAware{} }},
+			{Name: "Pri-aware", New: func(uint64) policy.Policy { return policy.PriAware{} }},
+		},
+		SeedOffsets: []uint64{0, 1},
+	}
+}
+
+// TestResumeSkipsRecompute: a fully-checkpointed grid replays without a
+// single workload compilation, and its export is byte-identical.
+func TestResumeSkipsRecompute(t *testing.T) {
+	g := ckTestGrid(t)
+	set, err := Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckBytes, err := set.CheckpointJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckBytes, want) {
+		t.Fatalf("completed set's CheckpointJSON differs from JSON")
+	}
+
+	ck, err := ParseCheckpoint(ckBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Loaded != 4 || ck.Skipped != 0 {
+		t.Fatalf("checkpoint loaded=%d skipped=%d, want 4/0", ck.Loaded, ck.Skipped)
+	}
+
+	g2 := g
+	g2.Resume = ck
+	before := CompileCount()
+	set2, err := Run(context.Background(), g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := CompileCount() - before; delta != 0 {
+		t.Fatalf("resumed run compiled %d columns, want 0", delta)
+	}
+	got, err := set2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed export differs from original")
+	}
+}
+
+// TestResumePartialRecomputesOnlyMissing: rows absent from the checkpoint
+// are recomputed; present ones are preloaded verbatim.
+func TestResumePartialRecomputesOnlyMissing(t *testing.T) {
+	g := ckTestGrid(t)
+	set, err := Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := set.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep only seed-offset-0 rows: drop every row whose seed is 8 (base
+	// 7 + offset 1).
+	ckBytes, err := set.CheckpointJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(ckBytes, &doc); err != nil {
+		t.Fatal(err)
+	}
+	cells := doc["cells"].([]any)
+	var kept []any
+	for _, c := range cells {
+		if c.(map[string]any)["seed"].(float64) == 7 {
+			kept = append(kept, c)
+		}
+	}
+	doc["cells"] = kept
+	partial, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ParseCheckpoint(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Loaded != 2 {
+		t.Fatalf("partial checkpoint loaded %d rows, want 2", ck.Loaded)
+	}
+
+	g2 := g
+	g2.Resume = ck
+	set2, err := Run(context.Background(), g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := set2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("partially-resumed export differs from original")
+	}
+	// The preloaded cells carry Data, the recomputed ones live Results.
+	for i := range set2.Cells {
+		c := &set2.Cells[i]
+		switch {
+		case c.Seed == 7 && c.Data == nil:
+			t.Fatalf("cell %d (seed 7) was not preloaded", i)
+		case c.Seed == 8 && c.Result == nil:
+			t.Fatalf("cell %d (seed 8) was not recomputed", i)
+		}
+	}
+}
+
+// TestCheckpointSkipsErrorRows: rows that recorded an error must be
+// recomputed, not resumed.
+func TestCheckpointSkipsErrorRows(t *testing.T) {
+	doc := []byte(`{"scenarios":["s"],"policies":["p"],"seed_offsets":[0],
+		"cells":[{"scenario":"s","policy":"p","seed":1,"error":"boom"},
+		         {"scenario":"s","policy":"p","seed":2,"cost_eur":1}]}`)
+	ck, err := ParseCheckpoint(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Loaded != 1 || ck.Skipped != 1 {
+		t.Fatalf("loaded=%d skipped=%d, want 1/1", ck.Loaded, ck.Skipped)
+	}
+	if row := ck.take("s", "p", 1); row != nil {
+		t.Fatalf("error row was resumable")
+	}
+	if row := ck.take("s", "p", 2); row == nil {
+		t.Fatalf("good row was not resumable")
+	}
+	if row := ck.take("s", "p", 2); row != nil {
+		t.Fatalf("row resumed twice")
+	}
+}
+
+// TestSpecFingerprint: stable across calls, sensitive to every identity
+// input, and undefined for injected workloads.
+func TestSpecFingerprint(t *testing.T) {
+	spec, err := config.Preset("paper-geo3dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SpecFingerprint(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpecFingerprint(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fingerprint not stable: %q vs %q", a, b)
+	}
+	c, err := SpecFingerprint(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatalf("fingerprint ignores the seed")
+	}
+	spec2 := spec
+	spec2.Scale = 0.123
+	d, err := SpecFingerprint(spec2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Fatalf("fingerprint ignores the spec")
+	}
+
+	spec3 := spec
+	spec3.Workload = struct{ trace.Source }{}
+	if _, err := SpecFingerprint(spec3, 7); err == nil {
+		t.Fatalf("fingerprint accepted an injected workload")
+	}
+}
+
+// TestColumnFingerprintMatchesSpec: CompileColumn stamps the column with
+// the spec fingerprint.
+func TestColumnFingerprintMatchesSpec(t *testing.T) {
+	spec, err := config.Preset("paper-geo3dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = 0.01
+	spec.Horizon = timeutil.Hours(2)
+	spec.FineStepSec = 300
+	want, err := SpecFingerprint(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := CompileColumn(spec, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Fingerprint() != want {
+		t.Fatalf("column fingerprint %q != spec fingerprint %q", col.Fingerprint(), want)
+	}
+}

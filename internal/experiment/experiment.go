@@ -20,6 +20,8 @@ package experiment
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -43,6 +45,29 @@ import (
 type PolicySpec struct {
 	Name string
 	New  func(seed uint64) policy.Policy
+	// Ref, when non-nil, is the policy's serializable form: a distributed
+	// sweep ships Ref over the wire instead of New (a closure cannot
+	// travel), and the worker reconstructs an equivalent instance from it.
+	// In-process runs ignore it. A PolicySpec without a Ref cannot be
+	// scheduled through a dist coordinator.
+	Ref *PolicyRef
+}
+
+// PolicyRef is the wire form of a policy constructor: a registered kind
+// plus its scalar knobs. The distributed runner's worker side resolves it
+// through its kind registry (internal/dist), yielding a constructor that
+// builds the same policy New would — required for bit-identical merged
+// results.
+type PolicyRef struct {
+	// Kind names a registered constructor family: "proposed", "ener",
+	// "pri", "net", "paretosearch".
+	Kind string `json:"kind"`
+	// Alpha is the proposed controller's Eq. 5 energy-performance weight
+	// (ignored by kinds without the knob).
+	Alpha float64 `json:"alpha,omitempty"`
+	// NoEmbedding disables the proposed controller's force-directed phase
+	// (ablation A2).
+	NoEmbedding bool `json:"no_embedding,omitempty"`
 }
 
 // Progress is one completion event of a running sweep.
@@ -84,6 +109,13 @@ type Grid struct {
 	// Progress, when non-nil, is called after each cell completes. Calls
 	// are serialized but arrive in completion order, not grid order.
 	Progress func(Progress)
+	// Resume, when non-nil, preloads cells completed by an earlier sweep
+	// (a checkpoint or ResultSet JSON export, see LoadCheckpoint): a cell
+	// whose (scenario, policy, seed) identity matches a checkpointed row
+	// carries that row as its Data instead of being recomputed. Because
+	// the engine is deterministic, the merged export is byte-identical to
+	// a from-scratch run.
+	Resume *Checkpoint
 }
 
 // Cell is one (scenario, policy, seed) evaluation of the grid.
@@ -94,7 +126,16 @@ type Cell struct {
 	Seed     uint64 `json:"seed"` // absolute seed: scenario base + offset
 	Result   *sim.Result
 	Err      error
+	// Data is the cell's flattened export row when the outcome arrived
+	// already flattened — from a resume checkpoint or a remote dist
+	// worker — instead of as a live Result. JSON export uses it verbatim;
+	// Result-based accessors (Results, Aggregate) skip such cells.
+	Data *CellData
 }
+
+// Done reports whether the cell has an outcome: a live Result, a
+// preloaded/remote Data row, or a recorded error.
+func (c *Cell) Done() bool { return c.Result != nil || c.Data != nil || c.Err != nil }
 
 // Set is the structured outcome of a sweep: cell identities are filled for
 // the whole grid even when a run was cancelled, so partial sets stay
@@ -208,12 +249,16 @@ func (s *Set) Aggregate(scenario string) *report.Figure {
 		var cost, energy, resp metrics.Summary
 		for ki := range s.SeedOffsets {
 			c := s.At(si, pi, ki)
-			if c.Result == nil {
+			// Aggregating from the flattened rows keeps resumed and
+			// distributed cells (Data, no live Result) in the statistics;
+			// for live cells Export flattens the identical float64 values.
+			if c.Err != nil || !c.Done() {
 				continue
 			}
-			cost.Add(float64(c.Result.OpCost))
-			energy.Add(c.Result.TotalEnergy.GJ())
-			resp.Add(c.Result.RespSummary.Max())
+			row := c.Export()
+			cost.Add(row.CostEUR)
+			energy.Add(row.EnergyGJ)
+			resp.Add(row.WorstRespS)
 		}
 		if cost.N() == 0 {
 			continue
@@ -247,11 +292,14 @@ func (s *Set) Err() error {
 	return fmt.Errorf("experiment: %d/%d cells failed: %w", failed, len(s.Cells), first)
 }
 
-// cellJSON is the stable flattened export schema: one row per cell with the
+// CellData is the stable flattened export schema: one row per cell with the
 // headline metrics. Rolling-horizon cells additionally carry the charged
 // migration overhead and the per-epoch breakdown; static cells omit those
-// fields, keeping the pre-epoch encoding byte-identical.
-type cellJSON struct {
+// fields, keeping the pre-epoch encoding byte-identical. It doubles as the
+// wire and checkpoint row: dist workers ship it back to the coordinator,
+// and LoadCheckpoint reads it back, so a merged or resumed export is built
+// from exactly the bytes a single-process export would produce.
+type CellData struct {
 	Scenario          string      `json:"scenario"`
 	Policy            string      `json:"policy"`
 	Seed              uint64      `json:"seed"`
@@ -275,11 +323,11 @@ type cellJSON struct {
 	StrandedVMSlots   int         `json:"stranded_vm_slots,omitempty"`
 	RepairGB          float64     `json:"repair_gb,omitempty"`
 	DataLossProb      float64     `json:"data_loss_prob,omitempty"`
-	Epochs            []epochJSON `json:"epochs,omitempty"`
+	Epochs            []EpochData `json:"epochs,omitempty"`
 }
 
-// epochJSON is one epoch of a rolling-horizon cell.
-type epochJSON struct {
+// EpochData is one epoch of a rolling-horizon cell.
+type EpochData struct {
 	Epoch        int     `json:"epoch"`
 	StartSlot    int     `json:"start_slot"`
 	EndSlot      int     `json:"end_slot"`
@@ -298,67 +346,90 @@ type epochJSON struct {
 // independent of the completion order the workers happened to produce — so
 // two sweeps of the same grid yield byte-identical output at any
 // parallelism and golden files never churn on scheduling.
-func (s *Set) JSON() ([]byte, error) {
+func (s *Set) JSON() ([]byte, error) { return s.marshal(false) }
+
+// CheckpointJSON renders the set in the same schema as JSON but with only
+// the completed cells present in the cells array — the checkpoint format a
+// killed sweep resumes from (see LoadCheckpoint). A fully-completed set's
+// CheckpointJSON equals its JSON byte for byte.
+func (s *Set) CheckpointJSON() ([]byte, error) { return s.marshal(true) }
+
+func (s *Set) marshal(completedOnly bool) ([]byte, error) {
 	type setJSON struct {
 		Scenarios   []string   `json:"scenarios"`
 		Policies    []string   `json:"policies"`
 		SeedOffsets []uint64   `json:"seed_offsets"`
-		Cells       []cellJSON `json:"cells"`
+		Cells       []CellData `json:"cells"`
 	}
 	out := setJSON{
 		Scenarios:   s.Scenarios,
 		Policies:    s.Policies,
 		SeedOffsets: s.SeedOffsets,
-		Cells:       make([]cellJSON, len(s.Cells)),
+		Cells:       make([]CellData, 0, len(s.Cells)),
 	}
 	ordered := make([]*Cell, len(s.Cells))
 	for i := range s.Cells {
 		ordered[i] = &s.Cells[i]
 	}
 	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Index < ordered[b].Index })
-	for i, c := range ordered {
-		row := cellJSON{Scenario: c.Scenario, Policy: c.Policy, Seed: c.Seed}
-		if c.Err != nil {
-			row.Error = c.Err.Error()
+	for _, c := range ordered {
+		if completedOnly && c.Result == nil && c.Data == nil {
+			continue
 		}
-		if r := c.Result; r != nil {
-			row.CostEUR = float64(r.OpCost)
-			row.EnergyGJ = r.TotalEnergy.GJ()
-			row.WorstRespS = r.RespSummary.Max()
-			row.MeanRespS = r.RespSummary.Mean()
-			row.Migrations = r.Migrations
-			row.MigRejected = r.MigRejected
-			row.MeanActiveServers = r.MeanActiveServers
-			row.GridKWh = r.GridEnergy.KWh()
-			row.RenewableUsedKWh = r.RenewableUsed.KWh()
-			row.RenewableLostKWh = r.RenewableLost.KWh()
-			row.BatteryOutKWh = r.BatteryOut.KWh()
-			row.IntraGB = r.IntraBytes.GB()
-			row.CrossGB = r.CrossBytes.GB()
-			row.MigEnergyKWh = r.MigEnergy.KWh()
-			row.MigDowntimeS = r.MigDowntimeSec
-			row.Evacuations = r.Evacuations
-			row.StrandedVMSlots = r.StrandedVMSlots
-			row.RepairGB = r.RepairBytes.GB()
-			row.DataLossProb = r.DataLossProb
-			for _, es := range r.Epochs {
-				row.Epochs = append(row.Epochs, epochJSON{
-					Epoch:        es.Epoch,
-					StartSlot:    es.StartSlot,
-					EndSlot:      es.EndSlot,
-					CostEUR:      float64(es.Cost),
-					EnergyGJ:     es.Energy.GJ(),
-					Migrations:   es.Migrations,
-					MigRejected:  es.MigRejected,
-					MigratedGB:   es.MigratedBytes.GB(),
-					MigEnergyKWh: es.MigEnergy.KWh(),
-					MigDowntimeS: es.MigDowntimeSec,
-				})
-			}
-		}
-		out.Cells[i] = row
+		out.Cells = append(out.Cells, c.Export())
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// Export flattens the cell into its stable JSON row. A cell carrying a
+// preloaded Data row (checkpoint resume, remote worker) exports it
+// verbatim; a cell with a live Result flattens it — both paths produce
+// identical bytes for identical outcomes, which is what makes distributed
+// merges and resumed sweeps byte-identical to in-process runs.
+func (c *Cell) Export() CellData {
+	if c.Data != nil {
+		return *c.Data
+	}
+	row := CellData{Scenario: c.Scenario, Policy: c.Policy, Seed: c.Seed}
+	if c.Err != nil {
+		row.Error = c.Err.Error()
+	}
+	if r := c.Result; r != nil {
+		row.CostEUR = float64(r.OpCost)
+		row.EnergyGJ = r.TotalEnergy.GJ()
+		row.WorstRespS = r.RespSummary.Max()
+		row.MeanRespS = r.RespSummary.Mean()
+		row.Migrations = r.Migrations
+		row.MigRejected = r.MigRejected
+		row.MeanActiveServers = r.MeanActiveServers
+		row.GridKWh = r.GridEnergy.KWh()
+		row.RenewableUsedKWh = r.RenewableUsed.KWh()
+		row.RenewableLostKWh = r.RenewableLost.KWh()
+		row.BatteryOutKWh = r.BatteryOut.KWh()
+		row.IntraGB = r.IntraBytes.GB()
+		row.CrossGB = r.CrossBytes.GB()
+		row.MigEnergyKWh = r.MigEnergy.KWh()
+		row.MigDowntimeS = r.MigDowntimeSec
+		row.Evacuations = r.Evacuations
+		row.StrandedVMSlots = r.StrandedVMSlots
+		row.RepairGB = r.RepairBytes.GB()
+		row.DataLossProb = r.DataLossProb
+		for _, es := range r.Epochs {
+			row.Epochs = append(row.Epochs, EpochData{
+				Epoch:        es.Epoch,
+				StartSlot:    es.StartSlot,
+				EndSlot:      es.EndSlot,
+				CostEUR:      float64(es.Cost),
+				EnergyGJ:     es.Energy.GJ(),
+				Migrations:   es.Migrations,
+				MigRejected:  es.MigRejected,
+				MigratedGB:   es.MigratedBytes.GB(),
+				MigEnergyKWh: es.MigEnergy.KWh(),
+				MigDowntimeS: es.MigDowntimeSec,
+			})
+		}
+	}
+	return row
 }
 
 // WriteJSON stores the JSON export at path.
@@ -370,12 +441,14 @@ func (s *Set) WriteJSON(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// Run executes the grid. The returned Set always covers the full grid;
-// cells that failed or were cancelled carry their error instead of a
-// result. The returned error is nil only when every cell completed — a
-// cancelled sweep returns the partially-filled Set together with an error
-// wrapping ctx's cause.
-func Run(ctx context.Context, g Grid) (*Set, error) {
+// NewSet validates the grid's axes and decomposes it into its cell
+// skeleton: every cell with its identity (scenario, policy, absolute seed)
+// and grid index, in deterministic grid order, but no results yet. Run
+// fills the skeleton in-process; a dist coordinator hands its cells out to
+// remote workers instead and merges what comes back — both produce the
+// same Set. When g.Resume is set, cells whose identity matches a
+// checkpointed row are born completed with that row as Data.
+func NewSet(g Grid) (*Set, error) {
 	if len(g.Scenarios) == 0 {
 		return nil, fmt.Errorf("experiment: no scenarios")
 	}
@@ -391,11 +464,6 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 	if len(offsets) == 0 {
 		offsets = []uint64{0}
 	}
-	workers := g.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	set := &Set{
 		Scenarios:   make([]string, len(g.Scenarios)),
 		Policies:    make([]string, len(g.Policies)),
@@ -416,7 +484,6 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 	for i, p := range g.Policies {
 		set.Policies[i] = p.Name
 	}
-
 	total := len(g.Scenarios) * len(g.Policies) * len(offsets)
 	set.Cells = make([]Cell, total)
 	for si := range g.Scenarios {
@@ -432,6 +499,44 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 			}
 		}
 	}
+	if g.Resume != nil {
+		// Grid-index order, so duplicate (scenario, policy, seed)
+		// identities consume checkpoint occurrences in the same order the
+		// checkpoint writer emitted them.
+		for i := range set.Cells {
+			c := &set.Cells[i]
+			if row := g.Resume.take(c.Scenario, c.Policy, c.Seed); row != nil {
+				c.Data = row
+			}
+		}
+	}
+	return set, nil
+}
+
+// Coords decomposes a cell's grid index back into its scenario, policy and
+// seed-offset indices.
+func (s *Set) Coords(idx int) (si, pi, ki int) {
+	perPolicy := len(s.SeedOffsets)
+	perScenario := len(s.Policies) * perPolicy
+	return idx / perScenario, (idx % perScenario) / perPolicy, idx % perPolicy
+}
+
+// Run executes the grid. The returned Set always covers the full grid;
+// cells that failed or were cancelled carry their error instead of a
+// result. The returned error is nil only when every cell completed — a
+// cancelled sweep returns the partially-filled Set together with an error
+// wrapping ctx's cause.
+func Run(ctx context.Context, g Grid) (*Set, error) {
+	set, err := NewSet(g)
+	if err != nil {
+		return nil, err
+	}
+	offsets := set.SeedOffsets
+	workers := g.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := len(set.Cells)
 	cellWorkers := workers
 	if cellWorkers > total {
 		cellWorkers = total
@@ -511,7 +616,11 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 				pi := (idx % perScenario) / perPolicy
 				ki := idx % perPolicy
 				wl := sharedFor(si, ki)
-				if err := ctx.Err(); err != nil {
+				if cell.Data != nil {
+					// Preloaded from a resume checkpoint: the outcome is
+					// already known, only the column bookkeeping runs.
+					wl.done()
+				} else if err := ctx.Err(); err != nil {
 					cell.Err = err
 					wl.done()
 				} else {
@@ -538,6 +647,36 @@ func Run(ctx context.Context, g Grid) (*Set, error) {
 type Column struct {
 	src *trace.Compiled
 	env *sim.Environment
+	fp  string
+}
+
+// Fingerprint identifies the spec x seed universe the column was compiled
+// for — SpecFingerprint of the compile inputs. Dist workers compare it
+// against a work item's fingerprint before running the cell, so a stale or
+// schema-skewed worker rejects the item instead of silently producing
+// wrong-universe results. Empty when the spec carried an injected
+// in-process Workload, which has no portable identity.
+func (c *Column) Fingerprint() string { return c.fp }
+
+// SpecFingerprint is the portable identity of a scenario x seed universe:
+// a hash of the spec's canonical JSON encoding at the given absolute seed.
+// Both sides of the dist protocol compute it independently — the
+// coordinator from the grid's spec, the worker from the spec it decoded
+// off the wire — so any skew (version drift in the Spec schema, lossy
+// transport, a mis-routed item) surfaces as a mismatch instead of a
+// silently different world. Specs with an injected Workload have no
+// portable identity and return an error.
+func SpecFingerprint(spec config.Spec, seed uint64) (string, error) {
+	if spec.Workload != nil {
+		return "", fmt.Errorf("experiment: spec %q carries an injected workload, which has no portable fingerprint", spec.Name)
+	}
+	spec.Seed = seed
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("experiment: fingerprint spec %q: %w", spec.Name, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
 }
 
 // CompileColumn compiles spec's workload and environment for the given
@@ -546,6 +685,7 @@ type Column struct {
 // through Grid.Columns, so wave N reuses wave 0's tables instead of
 // recompiling them.
 func CompileColumn(spec config.Spec, seed uint64, workers *par.Budget) (*Column, error) {
+	fp, _ := SpecFingerprint(spec, seed) // empty for injected workloads
 	spec.Seed = seed
 	compiles.Add(1)
 	src, err := config.CompileWorkload(spec, workers)
@@ -558,7 +698,15 @@ func CompileColumn(spec config.Spec, seed uint64, workers *par.Budget) (*Column,
 		return nil, err
 	}
 	env := sim.CompileEnvironment(sc.Fleet, sc.Horizon, sc.FineStepSec, workers)
-	return &Column{src: src, env: env}, nil
+	return &Column{src: src, env: env, fp: fp}, nil
+}
+
+// RunOnColumn evaluates one cell over a pre-compiled column — the dist
+// worker's execution path. It is runCell minus the lazy column bookkeeping:
+// fresh mutable scenario state per call over the column's immutable tables,
+// so results are bit-identical to the in-process engine's.
+func RunOnColumn(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64, col *Column, workers *par.Budget) (*sim.Result, error) {
+	return runOn(ctx, spec, ps, seed, col.src, col.env, workers)
 }
 
 // compiles counts workload/environment compilations engine-wide — the lazy
@@ -635,6 +783,14 @@ func runCell(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64, 
 	if err != nil {
 		return nil, err
 	}
+	return runOn(ctx, spec, ps, seed, w, env, workers)
+}
+
+// runOn is the shared cell evaluator behind runCell and RunOnColumn: fresh
+// mutable scenario state and a fresh policy instance over an
+// already-compiled workload and environment.
+func runOn(ctx context.Context, spec config.Spec, ps PolicySpec, seed uint64, w *trace.Compiled, env *sim.Environment, workers *par.Budget) (*sim.Result, error) {
+	spec.Seed = seed
 	spec.Workload = w
 	sc, err := config.Build(spec)
 	if err != nil {

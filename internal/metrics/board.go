@@ -90,6 +90,12 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Add moves the level by n (negative allowed).
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
+// Inc raises the level by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
